@@ -1,0 +1,95 @@
+package ironfs
+
+// The benchmark harness: one benchmark per table and figure of the paper's
+// evaluation. Simulated time (the quantity the paper reports) is exposed
+// as the custom metric "sim_ms/op"; wall-clock time measures the harness
+// itself and is not the reproduced quantity.
+//
+//	BenchmarkTable6/...    §6.2 Table 6  — relative cost of ixt3 variants
+//	BenchmarkFigure2/...   §5   Figure 2 — failure policies of ext3/ReiserFS/JFS
+//	BenchmarkNTFSAnalysis  §5.4          — NTFS partial analysis
+//	BenchmarkFigure3       §6.2 Figure 3 — ixt3 failure policy
+//	BenchmarkSpaceOverhead §6.2          — space cost of the mechanisms
+
+import (
+	"testing"
+
+	"ironfs/internal/fingerprint"
+	"ironfs/internal/workload"
+)
+
+// table6Variants is the benchmarked subset of Table 6's 32 rows: the
+// baseline, each mechanism alone, and the full combination. (The full
+// sweep is `go run ./cmd/ironbench`.)
+func table6Variants() []workload.Variant {
+	vs := workload.Variants()
+	return append(vs[:6:6], vs[len(vs)-1])
+}
+
+func BenchmarkTable6(b *testing.B) {
+	for _, bench := range workload.Benchmarks() {
+		for _, v := range table6Variants() {
+			bench, v := bench, v
+			b.Run(bench.Name+"/"+v.Label(), func(b *testing.B) {
+				var simMS float64
+				for i := 0; i < b.N; i++ {
+					rep, err := workload.RunVariant(v, bench)
+					if err != nil {
+						b.Fatal(err)
+					}
+					simMS = rep.SimTime.Seconds() * 1000
+				}
+				b.ReportMetric(simMS, "sim_ms/op")
+			})
+		}
+	}
+}
+
+// fingerprintBench runs one full fingerprint per iteration and reports the
+// number of applicable fault scenarios exercised.
+func fingerprintBench(b *testing.B, t fingerprint.Target) {
+	b.Helper()
+	var fired int
+	for i := 0; i < b.N; i++ {
+		res, err := fingerprint.Run(t, fingerprint.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _, fired = res.DetectedAndRecovered()
+	}
+	b.ReportMetric(float64(fired), "faults/op")
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for _, t := range []fingerprint.Target{
+		fingerprint.Ext3(), fingerprint.Reiser(), fingerprint.JFS(),
+	} {
+		t := t
+		b.Run(t.Name, func(b *testing.B) { fingerprintBench(b, t) })
+	}
+}
+
+func BenchmarkNTFSAnalysis(b *testing.B) {
+	fingerprintBench(b, fingerprint.NTFS())
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	fingerprintBench(b, fingerprint.Ixt3())
+}
+
+func BenchmarkSpaceOverhead(b *testing.B) {
+	for _, p := range workload.Profiles() {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			var parityPct float64
+			for i := 0; i < b.N; i++ {
+				rep, err := workload.RunSpaceStudy(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				parityPct = rep.ParityPct()
+			}
+			b.ReportMetric(parityPct, "parity_pct")
+		})
+	}
+}

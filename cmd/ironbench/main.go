@@ -1,0 +1,64 @@
+// Command ironbench reproduces the paper's performance and space
+// evaluation (§6.2): Table 6 — the 32 combinations of ixt3's redundancy
+// mechanisms under SSH-Build, Web, PostMark and TPC-B, normalized to stock
+// ext3 — and the space-overhead study.
+//
+// Usage:
+//
+//	ironbench [-table6] [-space] [-single] [-bench SSH|Web|Post|TPCB]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ironfs/internal/workload"
+)
+
+func main() {
+	table6 := flag.Bool("table6", true, "run the full Table 6 sweep (all 32 variants)")
+	single := flag.Bool("single", false, "run only the single-mechanism rows plus the full combination")
+	space := flag.Bool("space", false, "run the space-overhead study")
+	benchName := flag.String("bench", "", "restrict to one workload (SSH, Web, Post, TPCB)")
+	flag.Parse()
+
+	var benches []workload.Benchmark
+	if *benchName != "" {
+		b, ok := workload.BenchmarkByName(*benchName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ironbench: unknown benchmark %q\n", *benchName)
+			os.Exit(2)
+		}
+		benches = []workload.Benchmark{b}
+	}
+
+	if *table6 {
+		variants := workload.Variants()
+		if *single {
+			variants = append(variants[:6:6], variants[len(variants)-1])
+		}
+		t, err := workload.RunTable6(variants, benches)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ironbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("Table 6: relative run time of ixt3 variants (1.00 = stock ext3;")
+		fmt.Println("speedups in [brackets], as in the paper)")
+		fmt.Println(t.Render())
+	}
+
+	if *space {
+		fmt.Println("Space overheads (§6.2): per-mechanism cost as % of used volume")
+		var reports []workload.SpaceReport
+		for _, p := range workload.Profiles() {
+			r, err := workload.RunSpaceStudy(p)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ironbench: space %s: %v\n", p.Name, err)
+				os.Exit(1)
+			}
+			reports = append(reports, r)
+		}
+		fmt.Println(workload.RenderSpace(reports))
+	}
+}

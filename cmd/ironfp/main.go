@@ -1,0 +1,88 @@
+// Command ironfp runs failure-policy fingerprinting (§4–§5 of the paper)
+// against the built-in file systems and prints Figure 2/3-style policy
+// matrices, the Table 5 technique summary, and the ixt3 robustness count.
+//
+// Usage:
+//
+//	ironfp [-fs ext3|reiserfs|jfs|ntfs|ixt3|all] [-fault read|write|corrupt|all]
+//	       [-summary] [-robust]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ironfs/internal/fingerprint"
+	"ironfs/internal/iron"
+)
+
+func main() {
+	fsName := flag.String("fs", "all", "file system to fingerprint (ext3, reiserfs, jfs, ntfs, ixt3, all)")
+	faultName := flag.String("fault", "all", "fault class to print (read, write, corrupt, all)")
+	summary := flag.Bool("summary", false, "print the Table 5 technique summary over ext3/reiserfs/jfs")
+	robust := flag.Bool("robust", false, "print detected/recovered scenario counts (the §6.2 robustness metric)")
+	transient := flag.Bool("transient", false, "run the transient-fault tolerance study (§5.6: retry is underutilized)")
+	flag.Parse()
+
+	var targets []fingerprint.Target
+	if *fsName == "all" {
+		targets = fingerprint.Targets()
+	} else {
+		t, ok := fingerprint.ByName(*fsName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ironfp: unknown file system %q\n", *fsName)
+			os.Exit(2)
+		}
+		targets = []fingerprint.Target{t}
+	}
+
+	var faults []iron.FaultClass
+	switch *faultName {
+	case "read":
+		faults = []iron.FaultClass{iron.ReadFailure}
+	case "write":
+		faults = []iron.FaultClass{iron.WriteFailure}
+	case "corrupt":
+		faults = []iron.FaultClass{iron.Corruption}
+	case "all":
+		faults = []iron.FaultClass{iron.ReadFailure, iron.WriteFailure, iron.Corruption}
+	default:
+		fmt.Fprintf(os.Stderr, "ironfp: unknown fault class %q\n", *faultName)
+		os.Exit(2)
+	}
+
+	var counts []iron.TechniqueCounts
+	for _, t := range targets {
+		res, err := fingerprint.Run(t, fingerprint.Config{Faults: faults})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ironfp: %v\n", err)
+			os.Exit(1)
+		}
+		for _, fc := range faults {
+			fmt.Println(res.Matrices[fc].Render())
+		}
+		if *summary && t.Name != "ntfs" && t.Name != "ixt3" {
+			counts = append(counts, res.Counts())
+		}
+		if *robust {
+			d, r, f := res.DetectedAndRecovered()
+			fmt.Printf("%s: %d faults injected, %d scenarios detected, %d recovered/handled\n\n",
+				t.Name, f, d, r)
+		}
+	}
+	if *summary && len(counts) > 0 {
+		fmt.Println("Table 5: IRON techniques summary (relative frequency)")
+		fmt.Println(iron.RenderTable5(counts))
+	}
+
+	if *transient {
+		reports, err := fingerprint.RunTransientStudy(targets)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ironfp: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("Transient-fault tolerance (one-shot faults a single retry would absorb):")
+		fmt.Println(fingerprint.RenderTransient(reports))
+	}
+}

@@ -1,0 +1,12 @@
+// Package ironfs is a from-scratch Go reproduction of "IRON File Systems"
+// (Prabhakaran et al., SOSP 2005): the fail-partial disk failure model, a
+// type-aware failure-policy fingerprinting framework, re-implementations
+// of ext3, ReiserFS, JFS and NTFS that encode the failure policies the
+// paper measured (bugs included), and ixt3 — ext3 hardened with checksums,
+// metadata replication, data parity, and transactional checksums.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the reproduced tables and figures. The root package
+// holds the benchmark harness (bench_test.go) that regenerates every
+// table and figure of the paper's evaluation.
+package ironfs

@@ -1,0 +1,130 @@
+// Faultydisk: give all five file systems the same bad day — a spatially
+// local burst of latent sector errors (a surface scratch) followed by a
+// sticky corruption — and compare how each failure policy copes. This is
+// §2's fail-partial model exercised end to end: ReiserFS panics, ext3
+// remounts read-only, JFS muddles through, NTFS retries, and ixt3 quietly
+// recovers from its replicas.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"ironfs/internal/disk"
+	"ironfs/internal/faultinject"
+	"ironfs/internal/fingerprint"
+	"ironfs/internal/iron"
+	"ironfs/internal/vfs"
+)
+
+func main() {
+	for _, target := range fingerprint.Targets() {
+		if err := badDay(target); err != nil {
+			log.Fatalf("%s: %v", target.Name, err)
+		}
+	}
+}
+
+func badDay(t fingerprint.Target) error {
+	d, err := disk.New(4096, disk.DefaultGeometry(), nil)
+	if err != nil {
+		return err
+	}
+	fdev := faultinject.New(d, nil) // type resolver installed after mkfs
+	if err := t.Mkfs(fdev); err != nil {
+		return err
+	}
+	fdev.SetResolver(t.NewResolver(d))
+	rec := iron.NewRecorder()
+	fs := t.New(fdev, rec)
+	if err := fs.Mount(); err != nil {
+		return err
+	}
+
+	// A healthy working set.
+	payload := bytes.Repeat([]byte("important"), 2000)
+	if err := fs.Mkdir("/work", 0o755); err != nil {
+		return err
+	}
+	for i := 0; i < 8; i++ {
+		p := fmt.Sprintf("/work/doc%d", i)
+		if err := fs.Create(p, 0o644); err != nil {
+			return err
+		}
+		if _, err := fs.Write(p, 0, payload); err != nil {
+			return err
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		return err
+	}
+
+	// Remount with a cold cache so reads hit the media.
+	if err := fs.Unmount(); err != nil {
+		return err
+	}
+	fs = t.New(fdev, rec)
+	if err := fs.Mount(); err != nil {
+		return err
+	}
+	rec.Reset()
+
+	// The bad day: a media scratch makes a contiguous run of this file
+	// system's *data* blocks unreadable (spatial locality, §2.3.2) —
+	// located gray-box style through the resolver — plus one silently
+	// corrupt directory read.
+	resolver := t.NewResolver(d)
+	var scratchStart, scratchEnd int64
+	run := int64(0)
+	for b := int64(0); b < d.NumBlocks(); b++ {
+		if resolver.Classify(b) == "data" {
+			if run == 0 {
+				scratchStart = b
+			}
+			run++
+			if run == 12 {
+				scratchEnd = b + 1
+				break
+			}
+		} else {
+			run = 0
+		}
+	}
+	fdev.Arm(&faultinject.Fault{
+		Class:  iron.ReadFailure,
+		Range:  faultinject.BlockRange{Start: scratchStart, End: scratchEnd},
+		Sticky: true,
+	})
+	// Try to keep working through the scratch.
+	var apiErrs int
+	var lastErr error
+	for i := 0; i < 8; i++ {
+		p := fmt.Sprintf("/work/doc%d", i)
+		buf := make([]byte, len(payload))
+		if _, err := fs.Read(p, 0, buf); err != nil {
+			apiErrs++
+			lastErr = err
+		}
+	}
+	// Then one silently corrupt directory read, struck during an update.
+	fdev.Arm(&faultinject.Fault{Class: iron.Corruption, Target: "dir", Sticky: false})
+	fs.(interface{ DropCaches() }).DropCaches()
+	if err := fs.Create("/work/new-doc", 0o644); err != nil {
+		apiErrs++
+		lastErr = err
+	}
+
+	health := vfs.Healthy
+	if t.Health != nil {
+		health = t.Health(fs)
+	}
+	fmt.Printf("%-9s health=%-10s api-errors=%d", t.Name, health, apiErrs)
+	if lastErr != nil {
+		fmt.Printf("  last: %v", lastErr)
+	}
+	fmt.Println()
+	det, recv := rec.Detections(), rec.Recoveries()
+	fmt.Printf("          detection: %v   recovery: %v\n", det.Levels(), recv.Levels())
+	return nil
+}

@@ -1,0 +1,46 @@
+// Fingerprinting: run the paper's failure-policy fingerprinting framework
+// against stock ext3 and against ixt3, print the read-failure matrices
+// side by side, and summarize the difference — the before/after of
+// Figures 2 and 3.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ironfs/internal/fingerprint"
+	"ironfs/internal/iron"
+)
+
+func main() {
+	cfg := fingerprint.Config{}
+
+	ext3Res, err := fingerprint.Run(fingerprint.Ext3(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ixt3Res, err := fingerprint.Run(fingerprint.Ixt3(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== Figure 2 (excerpt): stock ext3 under read failures ===")
+	fmt.Println(ext3Res.Matrices[iron.ReadFailure].Render())
+	fmt.Println("=== Figure 3 (excerpt): ixt3 under read failures ===")
+	fmt.Println(ixt3Res.Matrices[iron.ReadFailure].Render())
+
+	// The robustness delta.
+	for _, r := range []*fingerprint.Result{ext3Res, ixt3Res} {
+		detected, recovered, fired := r.DetectedAndRecovered()
+		redundancy := 0
+		for _, s := range r.Scenarios {
+			if s.Recovery.Has(iron.RRedundancy) {
+				redundancy++
+			}
+		}
+		fmt.Printf("%-6s %3d faults fired; detected %3d, acted on %3d, recovered via redundancy %3d\n",
+			r.Target+":", fired, detected, recovered, redundancy)
+	}
+	fmt.Println("\nThe paper's headline: stock file systems never use redundancy;")
+	fmt.Println("ixt3 detects and recovers from over 200 partial-failure scenarios.")
+}

@@ -1,0 +1,3 @@
+module ironfs
+
+go 1.22

@@ -1,0 +1,111 @@
+// Package bcache provides the shared in-memory LRU buffer cache — the
+// simulation's stand-in for the page cache — used by every file system in
+// this repository.
+package bcache
+
+import "container/list"
+
+// Cache is a simple LRU buffer cache standing in for the page cache.
+// Clean blocks may be evicted at any time; dirty blocks are pinned until
+// the running transaction commits (metadata) or its ordered data is written
+// (data), after which commit marks them clean.
+type Cache struct {
+	cap     int
+	entries map[int64]*entry
+	lru     *list.List // front = most recent; values are *entry
+}
+
+type entry struct {
+	block int64
+	data  []byte
+	dirty bool
+	elem  *list.Element
+}
+
+// New returns a cache bounded to capBlocks resident blocks (minimum 16).
+func New(capBlocks int) *Cache {
+	if capBlocks < 16 {
+		capBlocks = 16
+	}
+	return &Cache{cap: capBlocks, entries: make(map[int64]*entry), lru: list.New()}
+}
+
+// get returns the cached data for block n, or nil on a miss. The returned
+// slice aliases the cache; callers mutating it must also call markDirty.
+func (c *Cache) Get(n int64) []byte {
+	e, ok := c.entries[n]
+	if !ok {
+		return nil
+	}
+	c.lru.MoveToFront(e.elem)
+	return e.data
+}
+
+// put inserts (or replaces) block n with data, which the cache takes
+// ownership of. Eviction of the least-recently-used clean block keeps the
+// cache within capacity.
+func (c *Cache) Put(n int64, data []byte, dirty bool) {
+	if e, ok := c.entries[n]; ok {
+		e.data = data
+		e.dirty = e.dirty || dirty
+		c.lru.MoveToFront(e.elem)
+		return
+	}
+	e := &entry{block: n, data: data, dirty: dirty}
+	e.elem = c.lru.PushFront(e)
+	c.entries[n] = e
+	c.evict()
+}
+
+// MarkDirty pins block n until the next commit, reporting whether the
+// block was present. Callers that cannot tolerate a miss (a fresh read can
+// be evicted immediately when every other resident block is dirty) must
+// re-insert the buffer with Put(n, data, true) when this returns false.
+func (c *Cache) MarkDirty(n int64) bool {
+	if e, ok := c.entries[n]; ok {
+		e.dirty = true
+		return true
+	}
+	return false
+}
+
+// markClean unpins block n after a commit has persisted it.
+func (c *Cache) MarkClean(n int64) {
+	if e, ok := c.entries[n]; ok {
+		e.dirty = false
+	}
+}
+
+// drop removes block n from the cache regardless of its dirty state (used
+// when a block is freed or when its contents must be re-read from disk).
+func (c *Cache) Drop(n int64) {
+	if e, ok := c.entries[n]; ok {
+		c.lru.Remove(e.elem)
+		delete(c.entries, n)
+	}
+}
+
+// reset empties the cache.
+func (c *Cache) Reset() {
+	c.entries = make(map[int64]*entry)
+	c.lru.Init()
+}
+
+func (c *Cache) evict() {
+	for len(c.entries) > c.cap {
+		// Scan from the back for a clean victim.
+		var victim *entry
+		for el := c.lru.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*entry)
+			if !e.dirty {
+				victim = e
+				break
+			}
+		}
+		if victim == nil {
+			return // everything dirty; let the cache grow until commit
+		}
+		c.lru.Remove(victim.elem)
+		delete(c.entries, victim.block)
+	}
+}

@@ -1,0 +1,137 @@
+package bcache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func blockOf(b byte) []byte { return []byte{b} }
+
+func TestGetPut(t *testing.T) {
+	c := New(16)
+	if c.Get(1) != nil {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(1, blockOf(0xAA), false)
+	if got := c.Get(1); got == nil || got[0] != 0xAA {
+		t.Fatalf("Get = %v", got)
+	}
+	c.Put(1, blockOf(0xBB), false)
+	if got := c.Get(1); got[0] != 0xBB {
+		t.Fatal("replace did not take")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(16)
+	for i := int64(0); i < 20; i++ {
+		c.Put(i, blockOf(byte(i)), false)
+	}
+	if len(c.entries) > 16 {
+		t.Fatalf("cache grew to %d", len(c.entries))
+	}
+	// The oldest entries must be the evicted ones.
+	if c.Get(0) != nil || c.Get(1) != nil {
+		t.Error("oldest entries not evicted")
+	}
+	if c.Get(19) == nil {
+		t.Error("newest entry evicted")
+	}
+}
+
+func TestDirtyPinned(t *testing.T) {
+	c := New(16)
+	for i := int64(0); i < 16; i++ {
+		c.Put(i, blockOf(byte(i)), true)
+	}
+	for i := int64(16); i < 48; i++ {
+		c.Put(i, blockOf(byte(i)), false)
+	}
+	for i := int64(0); i < 16; i++ {
+		if c.Get(i) == nil {
+			t.Fatalf("dirty block %d evicted", i)
+		}
+	}
+}
+
+func TestMarkDirtyReportsPresence(t *testing.T) {
+	c := New(16)
+	if c.MarkDirty(9) {
+		t.Error("MarkDirty on absent block reported true")
+	}
+	c.Put(9, blockOf(1), false)
+	if !c.MarkDirty(9) {
+		t.Error("MarkDirty on present block reported false")
+	}
+	// Dirty upgrade must survive a clean re-Put.
+	c.Put(9, blockOf(2), false)
+	for i := int64(100); i < 200; i++ {
+		c.Put(i, blockOf(0), false)
+	}
+	if c.Get(9) == nil {
+		t.Error("dirty block evicted after clean re-Put")
+	}
+}
+
+func TestMarkCleanAllowsEviction(t *testing.T) {
+	c := New(16)
+	c.Put(1, blockOf(1), true)
+	c.MarkClean(1)
+	for i := int64(2); i < 40; i++ {
+		c.Put(i, blockOf(0), false)
+	}
+	if c.Get(1) != nil {
+		t.Error("cleaned block still pinned")
+	}
+}
+
+func TestDropRemovesEvenDirty(t *testing.T) {
+	c := New(16)
+	c.Put(7, blockOf(7), true)
+	c.Drop(7)
+	if c.Get(7) != nil {
+		t.Error("dropped block still present")
+	}
+	c.Drop(7) // idempotent
+}
+
+func TestReset(t *testing.T) {
+	c := New(16)
+	for i := int64(0); i < 8; i++ {
+		c.Put(i, blockOf(byte(i)), i%2 == 0)
+	}
+	c.Reset()
+	for i := int64(0); i < 8; i++ {
+		if c.Get(i) != nil {
+			t.Fatalf("block %d survived reset", i)
+		}
+	}
+}
+
+// TestQuickCoherence: whatever sequence of puts happens, Get always
+// returns the most recent value or nil — never a stale one.
+func TestQuickCoherence(t *testing.T) {
+	f := func(ops []struct {
+		Block uint8
+		Val   byte
+		Dirty bool
+	}) bool {
+		c := New(32)
+		last := map[int64][]byte{}
+		for _, op := range ops {
+			b := int64(op.Block % 64)
+			data := []byte{op.Val}
+			c.Put(b, data, op.Dirty)
+			last[b] = data
+		}
+		for b, want := range last {
+			if got := c.Get(b); got != nil && got[0] != want[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

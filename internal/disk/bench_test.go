@@ -1,0 +1,43 @@
+package disk
+
+import "testing"
+
+func BenchmarkReadBlockSequential(b *testing.B) {
+	d, _ := New(16384, DefaultGeometry(), nil)
+	buf := make([]byte, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.ReadBlock(int64(i)%16384, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadBlockRandom(b *testing.B) {
+	d, _ := New(16384, DefaultGeometry(), nil)
+	buf := make([]byte, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.ReadBlock(int64(i*2053)%16384, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteBatch64(b *testing.B) {
+	d, _ := New(16384, DefaultGeometry(), nil)
+	buf := make([]byte, 4096)
+	reqs := make([]Request, 64)
+	for i := range reqs {
+		reqs[i] = Request{Block: int64(512 + i), Data: buf}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.WriteBatch(reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

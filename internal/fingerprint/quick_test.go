@@ -1,0 +1,22 @@
+package fingerprint
+
+import (
+	"testing"
+
+	"ironfs/internal/iron"
+)
+
+func TestQuickAll(t *testing.T) {
+	for _, tgt := range Targets() {
+		tgt := tgt
+		t.Run(tgt.Name, func(t *testing.T) {
+			res, err := Run(tgt, Config{})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			t.Logf("\n%s", res.Matrices[iron.ReadFailure].Render())
+			d, r, f := res.DetectedAndRecovered()
+			t.Logf("fired=%d detected=%d recovered=%d", f, d, r)
+		})
+	}
+}

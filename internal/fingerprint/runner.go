@@ -1,0 +1,282 @@
+package fingerprint
+
+import (
+	"fmt"
+
+	"ironfs/internal/disk"
+	"ironfs/internal/faultinject"
+	"ironfs/internal/iron"
+	"ironfs/internal/vfs"
+)
+
+// Config parameterizes a fingerprinting run.
+type Config struct {
+	// DiskBlocks sizes the test device (default 4096 blocks = 16 MiB).
+	DiskBlocks int64
+	// Faults selects the fault classes (default: all three).
+	Faults []iron.FaultClass
+	// Transient arms one-shot instead of sticky faults, for probing
+	// retry behavior (default false: sticky, as the paper's main runs).
+	Transient bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.DiskBlocks == 0 {
+		c.DiskBlocks = 4096
+	}
+	if len(c.Faults) == 0 {
+		c.Faults = []iron.FaultClass{iron.ReadFailure, iron.WriteFailure, iron.Corruption}
+	}
+	return c
+}
+
+// Scenario is the outcome of one (workload, block type, fault) experiment.
+type Scenario struct {
+	Workload   string
+	Block      iron.BlockType
+	Fault      iron.FaultClass
+	Applicable bool
+	// Fired counts fault injections that actually hit.
+	Fired int
+	// Err is the error the workload surfaced to the "application".
+	Err error
+	// Detection/Recovery are the techniques the file system exhibited.
+	Detection iron.DetectionSet
+	Recovery  iron.RecoverySet
+	// Health is the file system's state after the workload.
+	Health vfs.HealthState
+}
+
+// Result is a complete fingerprint of one file system.
+type Result struct {
+	Target    string
+	Matrices  map[iron.FaultClass]*iron.Matrix
+	Scenarios []Scenario
+}
+
+// Counts tallies the result for the Table 5 summary.
+func (r *Result) Counts() iron.TechniqueCounts {
+	c := iron.TechniqueCounts{FS: r.Target}
+	for _, m := range r.Matrices {
+		c.Tally(m)
+	}
+	return c
+}
+
+// DetectedAndRecovered counts the applicable scenarios in which a fault
+// fired and the file system both noticed it (some detection technique) and
+// responded (some recovery technique) — the paper's robustness metric for
+// ixt3 ("detects and recovers from over 200 possible different
+// partial-error scenarios").
+func (r *Result) DetectedAndRecovered() (detected, recovered, fired int) {
+	for _, s := range r.Scenarios {
+		if !s.Applicable || s.Fired == 0 {
+			continue
+		}
+		fired++
+		if !s.Detection.Empty() {
+			detected++
+		}
+		if !s.Recovery.Empty() {
+			recovered++
+		}
+	}
+	return detected, recovered, fired
+}
+
+// Run fingerprints one file system: prepares golden images, derives
+// applicability from fault-free traces, then executes every applicable
+// (workload × block type × fault class) scenario on a fresh image.
+func Run(t Target, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	ws := Workloads()
+	labels := WorkloadLabels()
+
+	cleanImg, err := buildImage(t, cfg, false)
+	if err != nil {
+		return nil, fmt.Errorf("fingerprint %s: clean image: %w", t.Name, err)
+	}
+	dirtyImg, err := buildImage(t, cfg, true)
+	if err != nil {
+		return nil, fmt.Errorf("fingerprint %s: dirty image: %w", t.Name, err)
+	}
+	pick := func(w Workload) []byte {
+		if w.Dirty {
+			return dirtyImg
+		}
+		return cleanImg
+	}
+
+	// Golden traces: which (block type, op) pairs each workload touches.
+	golden := make([]map[iron.BlockType][2]int, len(ws))
+	for i, w := range ws {
+		counts, err := goldenTrace(t, cfg, w, pick(w))
+		if err != nil {
+			return nil, fmt.Errorf("fingerprint %s: golden %q: %w", t.Name, w.Name, err)
+		}
+		golden[i] = counts
+	}
+
+	res := &Result{Target: t.Name, Matrices: map[iron.FaultClass]*iron.Matrix{}}
+	for _, fc := range cfg.Faults {
+		res.Matrices[fc] = iron.NewMatrix(t.Name, fc, t.Blocks, labels)
+	}
+
+	for i, w := range ws {
+		for _, bt := range t.Blocks {
+			for _, fc := range cfg.Faults {
+				op := disk.OpRead
+				if fc == iron.WriteFailure {
+					op = disk.OpWrite
+				}
+				if golden[i][bt][op] == 0 {
+					res.Scenarios = append(res.Scenarios, Scenario{
+						Workload: w.Label, Block: bt, Fault: fc,
+					})
+					continue // gray cell
+				}
+				s, err := runScenario(t, cfg, w, pick(w), bt, fc)
+				if err != nil {
+					return nil, fmt.Errorf("fingerprint %s: %s/%s/%s: %w",
+						t.Name, w.Label, bt, fc, err)
+				}
+				res.Scenarios = append(res.Scenarios, s)
+				cell := iron.Cell{Applicable: true, Detection: s.Detection, Recovery: s.Recovery}
+				if err := res.Matrices[fc].Set(bt, w.Label, cell); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// buildImage formats and populates a disk image. With dirty set, the image
+// additionally captures a simulated crash that cuts the tail of the last
+// journal commit, so the recovery workload has a live transaction to
+// examine: the dirty workload is first dry-run to count its writes, then
+// re-run against a CrashDevice whose budget stops one write short.
+func buildImage(t Target, cfg Config, dirty bool) ([]byte, error) {
+	d, err := disk.New(cfg.DiskBlocks, disk.DefaultGeometry(), nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.Mkfs(d); err != nil {
+		return nil, err
+	}
+	fs := t.New(d, nil)
+	if err := prepareImage(fs); err != nil {
+		return nil, err
+	}
+	if t.Extra != nil {
+		efs := t.New(d, nil)
+		if err := efs.Mount(); err != nil {
+			return nil, err
+		}
+		if err := t.Extra(efs); err != nil {
+			return nil, err
+		}
+		if err := efs.Unmount(); err != nil {
+			return nil, err
+		}
+	}
+	if !dirty {
+		return d.Snapshot(), nil
+	}
+	clean := d.Snapshot()
+
+	// Dry run: count the writes the dirty workload issues.
+	scratch, err := disk.New(cfg.DiskBlocks, disk.DefaultGeometry(), nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := scratch.Restore(clean); err != nil {
+		return nil, err
+	}
+	before := scratch.Stats().Writes
+	if err := dirtyImage(t.New(scratch, nil)); err != nil {
+		return nil, err
+	}
+	writes := scratch.Stats().Writes - before
+
+	// Real run: crash one write before the end. Errors are the crash
+	// itself surfacing through the file system and are expected.
+	target, err := disk.New(cfg.DiskBlocks, disk.DefaultGeometry(), nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := target.Restore(clean); err != nil {
+		return nil, err
+	}
+	limit := writes - 1
+	if limit < 1 {
+		limit = 1
+	}
+	crash := faultinject.NewCrashDevice(target, limit)
+	_ = dirtyImage(t.New(crash, nil))
+	return target.Snapshot(), nil
+}
+
+// instance builds a fresh (disk, fault layer, recorder, fs) stack over an
+// image snapshot.
+func instance(t Target, cfg Config, img []byte) (*disk.Disk, *faultinject.Device, *iron.Recorder, vfs.FileSystem, error) {
+	d, err := disk.New(cfg.DiskBlocks, disk.DefaultGeometry(), nil)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if err := d.Restore(img); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	fdev := faultinject.New(d, t.NewResolver(d))
+	rec := iron.NewRecorder()
+	fs := t.New(fdev, rec)
+	return d, fdev, rec, fs, nil
+}
+
+// goldenTrace runs a workload fault-free and returns its per-type access
+// counts (the applicability mask).
+func goldenTrace(t Target, cfg Config, w Workload, img []byte) (map[iron.BlockType][2]int, error) {
+	_, fdev, _, fs, err := instance(t, cfg, img)
+	if err != nil {
+		return nil, err
+	}
+	if w.Mounted {
+		if err := fs.Mount(); err != nil {
+			return nil, fmt.Errorf("golden mount: %w", err)
+		}
+		fdev.ResetTrace() // the mount column measures mount traffic alone
+	}
+	if err := w.Run(fs); err != nil {
+		return nil, fmt.Errorf("golden run: %w", err)
+	}
+	return fdev.AccessCounts(), nil
+}
+
+// runScenario executes one faulted experiment.
+func runScenario(t Target, cfg Config, w Workload, img []byte, bt iron.BlockType, fc iron.FaultClass) (Scenario, error) {
+	_, fdev, rec, fs, err := instance(t, cfg, img)
+	if err != nil {
+		return Scenario{}, err
+	}
+	if w.Mounted {
+		if err := fs.Mount(); err != nil {
+			return Scenario{}, fmt.Errorf("scenario mount: %w", err)
+		}
+	}
+	fdev.Arm(&faultinject.Fault{Class: fc, Target: bt, Sticky: !cfg.Transient})
+	werr := w.Run(fs)
+	s := Scenario{
+		Workload:   w.Label,
+		Block:      bt,
+		Fault:      fc,
+		Applicable: true,
+		Fired:      fdev.Fired(),
+		Err:        werr,
+		Detection:  rec.Detections(),
+		Recovery:   rec.Recoveries(),
+	}
+	if t.Health != nil {
+		s.Health = t.Health(fs)
+	}
+	return s, nil
+}

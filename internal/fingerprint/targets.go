@@ -1,0 +1,143 @@
+// Package fingerprint implements the paper's failure-policy fingerprinting
+// framework (§4): it drives each file system through a workload suite that
+// exercises the POSIX API (Table 3), injects type-aware faults beneath it
+// for every (workload × block type × fault class) combination, and infers
+// the detection and recovery policy from the recorded reactions plus the
+// visible outputs — producing the Figure 2 / Figure 3 matrices and the
+// Table 5 technique summary.
+package fingerprint
+
+import (
+	"fmt"
+
+	"ironfs/internal/disk"
+	"ironfs/internal/faultinject"
+	"ironfs/internal/fs/ext3"
+	"ironfs/internal/fs/ixt3"
+	"ironfs/internal/fs/jfs"
+	"ironfs/internal/fs/ntfs"
+	"ironfs/internal/fs/reiser"
+	"ironfs/internal/iron"
+	"ironfs/internal/vfs"
+)
+
+// Target describes one file system under test: how to format a device,
+// instantiate the file system, and build its gray-box type resolver.
+type Target struct {
+	// Name labels the target ("ext3", "reiserfs", "jfs", "ntfs", "ixt3").
+	Name string
+	// Blocks are the structure types to fingerprint, in row order.
+	Blocks []iron.BlockType
+	// Mkfs formats the device.
+	Mkfs func(dev disk.Device) error
+	// New creates an unmounted instance over dev reporting into rec.
+	New func(dev disk.Device, rec *iron.Recorder) vfs.FileSystem
+	// NewResolver builds the type resolver over the raw disk.
+	NewResolver func(raw *disk.Disk) faultinject.TypeResolver
+	// Health reports the instance's RStop state (for inference).
+	Health func(fs vfs.FileSystem) vfs.HealthState
+	// Extra optionally deepens the prepared image with target-specific
+	// structure (e.g., enough objects that ReiserFS grows interior
+	// levels between the root and its leaves).
+	Extra func(fs vfs.FileSystem) error
+}
+
+// Ext3 is the stock-ext3 target.
+func Ext3() Target {
+	return Target{
+		Name:   "ext3",
+		Blocks: ext3.BlockTypes(),
+		Mkfs:   func(dev disk.Device) error { return ext3.Mkfs(dev, ext3.Options{}) },
+		New: func(dev disk.Device, rec *iron.Recorder) vfs.FileSystem {
+			return ext3.New(dev, ext3.Options{}, rec)
+		},
+		NewResolver: func(raw *disk.Disk) faultinject.TypeResolver { return ext3.NewResolver(raw) },
+		Health:      func(fs vfs.FileSystem) vfs.HealthState { return fs.(*ext3.FS).Health() },
+	}
+}
+
+// Ixt3 is the full IRON ext3 target (Figure 3).
+func Ixt3() Target {
+	feats := ixt3.All()
+	return Target{
+		Name:   "ixt3",
+		Blocks: ext3.BlockTypes(),
+		Mkfs:   func(dev disk.Device) error { return ixt3.Mkfs(dev, feats) },
+		New: func(dev disk.Device, rec *iron.Recorder) vfs.FileSystem {
+			return ixt3.New(dev, feats, rec)
+		},
+		NewResolver: func(raw *disk.Disk) faultinject.TypeResolver { return ixt3.NewResolver(raw) },
+		Health:      func(fs vfs.FileSystem) vfs.HealthState { return fs.(*ext3.FS).Health() },
+	}
+}
+
+// Reiser is the ReiserFS target.
+func Reiser() Target {
+	return Target{
+		Name:   "reiserfs",
+		Blocks: reiser.BlockTypes(),
+		Mkfs:   reiser.Mkfs,
+		New: func(dev disk.Device, rec *iron.Recorder) vfs.FileSystem {
+			return reiser.New(dev, rec)
+		},
+		NewResolver: func(raw *disk.Disk) faultinject.TypeResolver { return reiser.NewResolver(raw) },
+		Health:      func(fs vfs.FileSystem) vfs.HealthState { return fs.(*reiser.FS).Health() },
+		// A few thousand tiny objects push the tree to height three, so
+		// genuine interior nodes sit between the root and the leaves.
+		Extra: func(fs vfs.FileSystem) error {
+			if err := fs.Mkdir("/deeptree", 0o755); err != nil {
+				return err
+			}
+			for i := 0; i < 4200; i++ {
+				p := fmt.Sprintf("/deeptree/t%04d", i)
+				if err := fs.Create(p, 0o644); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// JFS is the IBM JFS target.
+func JFS() Target {
+	return Target{
+		Name:   "jfs",
+		Blocks: jfs.BlockTypes(),
+		Mkfs:   jfs.Mkfs,
+		New: func(dev disk.Device, rec *iron.Recorder) vfs.FileSystem {
+			return jfs.New(dev, rec)
+		},
+		NewResolver: func(raw *disk.Disk) faultinject.TypeResolver { return jfs.NewResolver(raw) },
+		Health:      func(fs vfs.FileSystem) vfs.HealthState { return fs.(*jfs.FS).Health() },
+	}
+}
+
+// NTFS is the Windows NTFS target.
+func NTFS() Target {
+	return Target{
+		Name:   "ntfs",
+		Blocks: ntfs.BlockTypes(),
+		Mkfs:   ntfs.Mkfs,
+		New: func(dev disk.Device, rec *iron.Recorder) vfs.FileSystem {
+			return ntfs.New(dev, rec)
+		},
+		NewResolver: func(raw *disk.Disk) faultinject.TypeResolver { return ntfs.NewResolver(raw) },
+		Health:      func(fs vfs.FileSystem) vfs.HealthState { return fs.(*ntfs.FS).Health() },
+	}
+}
+
+// Targets returns every built-in target, in the paper's order.
+func Targets() []Target {
+	return []Target{Ext3(), Reiser(), JFS(), NTFS(), Ixt3()}
+}
+
+// ByName finds a built-in target.
+func ByName(name string) (Target, bool) {
+	for _, t := range Targets() {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return Target{}, false
+}

@@ -1,0 +1,79 @@
+package fingerprint
+
+import (
+	"fmt"
+	"strings"
+
+	"ironfs/internal/iron"
+	"ironfs/internal/vfs"
+)
+
+// The transient-fault study behind §5.6's findings that "most file systems
+// assume a single temporarily-inaccessible block indicates a fatal
+// whole-disk failure" and "retry is underutilized": the same scenario
+// sweep, but with one-shot faults that a single retry would absorb.
+
+// TransientReport summarizes one file system's tolerance of transient
+// faults.
+type TransientReport struct {
+	Target string
+	// Fired is the number of applicable scenarios whose one-shot fault
+	// actually hit.
+	Fired int
+	// Survived counts scenarios that completed with no application-
+	// visible error and a healthy file system afterwards.
+	Survived int
+	// Stopped counts scenarios that ended read-only or panicked — a
+	// whole-file-system reaction to one transient block fault.
+	Stopped int
+}
+
+// SurvivalRate returns Survived/Fired.
+func (r TransientReport) SurvivalRate() float64 {
+	if r.Fired == 0 {
+		return 0
+	}
+	return float64(r.Survived) / float64(r.Fired)
+}
+
+// RunTransientStudy sweeps every target with one-shot read and write
+// faults and tallies who survives.
+func RunTransientStudy(targets []Target) ([]TransientReport, error) {
+	if targets == nil {
+		targets = Targets()
+	}
+	var out []TransientReport
+	for _, t := range targets {
+		res, err := Run(t, Config{Transient: true,
+			Faults: []iron.FaultClass{iron.ReadFailure, iron.WriteFailure}})
+		if err != nil {
+			return nil, fmt.Errorf("transient study %s: %w", t.Name, err)
+		}
+		rep := TransientReport{Target: t.Name}
+		for _, s := range res.Scenarios {
+			if !s.Applicable || s.Fired == 0 {
+				continue
+			}
+			rep.Fired++
+			if s.Err == nil && s.Health == vfs.Healthy {
+				rep.Survived++
+			}
+			if s.Health != vfs.Healthy {
+				rep.Stopped++
+			}
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// RenderTransient draws the study.
+func RenderTransient(reports []TransientReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %8s %10s %9s %10s\n", "fs", "faults", "survived", "stopped", "survival")
+	for _, r := range reports {
+		fmt.Fprintf(&b, "%-10s %8d %10d %9d %9.0f%%\n",
+			r.Target, r.Fired, r.Survived, r.Stopped, 100*r.SurvivalRate())
+	}
+	return b.String()
+}

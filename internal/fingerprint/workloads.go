@@ -1,0 +1,315 @@
+package fingerprint
+
+import (
+	"bytes"
+	"fmt"
+
+	"ironfs/internal/vfs"
+)
+
+// The workload suite of Table 3: singlets that each stress one call of the
+// POSIX API, plus generics (path traversal, recovery, log writes). Columns
+// a..t match the paper's Figure 2 caption.
+
+// Paths prepared in the fingerprint image (see prepareImage).
+const (
+	deepDir   = "/d1/d2/d3"
+	deepFile  = "/d1/d2/d3/leaf"
+	smallFile = "/d1/small"
+	bigFile   = "/ind/big" // in /ind: its items get leaves of their own
+	linkSrc   = "/linksrc"
+	symLink   = "/sym"
+	emptyDir  = "/emptydir"
+	renameSrc = "/renamesrc"
+	unlinkMe  = "/ind/unlink"
+	truncMe   = "/ind/trunc"
+	rmdirMe   = "/rmdirme"
+	fsyncMe   = "/fsyncme"
+)
+
+// bigFileBlocks sizes /big so that indirect/internal structures exist.
+const bigFileBlocks = 24
+
+// Workload is one column of the policy matrix.
+type Workload struct {
+	// Label is the single-letter column key (a..t).
+	Label string
+	// Name describes the calls exercised.
+	Name string
+	// Mounted selects whether the file system is mounted before the
+	// fault is armed (false for mount/recovery workloads, where mounting
+	// IS the workload).
+	Mounted bool
+	// Dirty selects the uncleanly-unmounted image (recovery workload).
+	Dirty bool
+	// Run exercises the API. For unmounted workloads it must Mount.
+	Run func(fs vfs.FileSystem) error
+}
+
+// Workloads returns the suite in column order.
+func Workloads() []Workload {
+	return []Workload{
+		{Label: "a", Name: "path traversal", Mounted: true, Run: func(fs vfs.FileSystem) error {
+			_, err := fs.Stat(deepFile)
+			return err
+		}},
+		{Label: "b", Name: "access,chdir,chroot,stat,statfs,lstat,open", Mounted: true, Run: func(fs vfs.FileSystem) error {
+			if err := fs.Access(smallFile); err != nil {
+				return err
+			}
+			// chdir/chroot resolve a directory path.
+			if err := fs.Open(deepDir); err != nil {
+				return err
+			}
+			if _, err := fs.Stat(smallFile); err != nil {
+				return err
+			}
+			if _, err := fs.Stat("/rf020"); err != nil {
+				return err
+			}
+			if _, err := fs.Statfs(); err != nil {
+				return err
+			}
+			if _, err := fs.Lstat(symLink); err != nil {
+				return err
+			}
+			return fs.Open(smallFile)
+		}},
+		{Label: "c", Name: "chmod,chown,utimes", Mounted: true, Run: func(fs vfs.FileSystem) error {
+			if err := fs.Chmod(smallFile, 0o600); err != nil {
+				return err
+			}
+			if err := fs.Chmod("/rf021", 0o640); err != nil {
+				return err
+			}
+			if err := fs.Chown(smallFile, 12, 34); err != nil {
+				return err
+			}
+			return fs.Utimes(smallFile, 111, 222)
+		}},
+		{Label: "d", Name: "read", Mounted: true, Run: func(fs vfs.FileSystem) error {
+			buf := make([]byte, bigFileBlocks*4096)
+			_, err := fs.Read(bigFile, 0, buf)
+			return err
+		}},
+		{Label: "e", Name: "readlink", Mounted: true, Run: func(fs vfs.FileSystem) error {
+			_, err := fs.Readlink(symLink)
+			return err
+		}},
+		{Label: "f", Name: "getdirentries", Mounted: true, Run: func(fs vfs.FileSystem) error {
+			_, err := fs.ReadDir("/d1")
+			return err
+		}},
+		{Label: "g", Name: "creat", Mounted: true, Run: func(fs vfs.FileSystem) error {
+			if err := fs.Create("/newfile", 0o644); err != nil {
+				return err
+			}
+			return fs.Sync()
+		}},
+		{Label: "h", Name: "link", Mounted: true, Run: func(fs vfs.FileSystem) error {
+			if err := fs.Link(linkSrc, "/newlink"); err != nil {
+				return err
+			}
+			return fs.Sync()
+		}},
+		{Label: "i", Name: "mkdir", Mounted: true, Run: func(fs vfs.FileSystem) error {
+			if err := fs.Mkdir("/newdir", 0o755); err != nil {
+				return err
+			}
+			return fs.Sync()
+		}},
+		{Label: "j", Name: "rename", Mounted: true, Run: func(fs vfs.FileSystem) error {
+			if err := fs.Rename(renameSrc, "/renamed"); err != nil {
+				return err
+			}
+			return fs.Sync()
+		}},
+		{Label: "k", Name: "symlink", Mounted: true, Run: func(fs vfs.FileSystem) error {
+			if err := fs.Symlink(smallFile, "/newsym"); err != nil {
+				return err
+			}
+			return fs.Sync()
+		}},
+		{Label: "l", Name: "write", Mounted: true, Run: func(fs vfs.FileSystem) error {
+			// A write into the file's tail reaches the indirect/internal
+			// mapping structures; the partial final block forces a
+			// read-modify-write.
+			data := bytes.Repeat([]byte("w"), 6*4096+100)
+			if _, err := fs.Write(bigFile, 14*4096, data); err != nil {
+				return err
+			}
+			return fs.Sync()
+		}},
+		{Label: "m", Name: "truncate", Mounted: true, Run: func(fs vfs.FileSystem) error {
+			if err := fs.Truncate(truncMe, 4096); err != nil {
+				return err
+			}
+			return fs.Sync()
+		}},
+		{Label: "n", Name: "rmdir", Mounted: true, Run: func(fs vfs.FileSystem) error {
+			if err := fs.Rmdir(rmdirMe); err != nil {
+				return err
+			}
+			return fs.Sync()
+		}},
+		{Label: "o", Name: "unlink", Mounted: true, Run: func(fs vfs.FileSystem) error {
+			if err := fs.Unlink(unlinkMe); err != nil {
+				return err
+			}
+			return fs.Sync()
+		}},
+		{Label: "p", Name: "mount", Mounted: false, Run: func(fs vfs.FileSystem) error {
+			return fs.Mount()
+		}},
+		{Label: "q", Name: "fsync,sync", Mounted: true, Run: func(fs vfs.FileSystem) error {
+			if _, err := fs.Write(fsyncMe, 0, []byte("fsync payload")); err != nil {
+				return err
+			}
+			if err := fs.Fsync(fsyncMe); err != nil {
+				return err
+			}
+			return fs.Sync()
+		}},
+		{Label: "r", Name: "umount", Mounted: true, Run: func(fs vfs.FileSystem) error {
+			if err := fs.Create("/pending", 0o644); err != nil {
+				return err
+			}
+			return fs.Unmount()
+		}},
+		{Label: "s", Name: "FS recovery", Mounted: false, Dirty: true, Run: func(fs vfs.FileSystem) error {
+			return fs.Mount()
+		}},
+		{Label: "t", Name: "log writes", Mounted: true, Run: func(fs vfs.FileSystem) error {
+			for i := 0; i < 4; i++ {
+				if _, err := fs.Write(smallFile, int64(i)*512, []byte("log write burst")); err != nil {
+					return err
+				}
+				if err := fs.Sync(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+	}
+}
+
+// WorkloadLabels returns the column labels in order.
+func WorkloadLabels() []string {
+	ws := Workloads()
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Label
+	}
+	return out
+}
+
+// prepareImage populates a freshly formatted file system with the objects
+// the workloads operate on: a deep directory chain, small and large files
+// (large enough to need indirect/internal structures), a symlink, a hard
+// link source, and victims for rename/unlink/rmdir/truncate.
+func prepareImage(fs vfs.FileSystem) error {
+	if err := fs.Mount(); err != nil {
+		return fmt.Errorf("prepare mount: %w", err)
+	}
+	steps := []func() error{
+		func() error { return fs.Mkdir("/d1", 0o755) },
+		func() error { return fs.Mkdir("/d1/d2", 0o755) },
+		func() error { return fs.Mkdir(deepDir, 0o755) },
+		func() error { return fs.Create(deepFile, 0o644) },
+		func() error { _, err := fs.Write(deepFile, 0, []byte("leaf contents")); return err },
+		func() error { return fs.Create(smallFile, 0o644) },
+		func() error { _, err := fs.Write(smallFile, 0, bytes.Repeat([]byte("s"), 3000)); return err },
+		func() error { return fs.Create(linkSrc, 0o644) },
+		func() error { return fs.Symlink(smallFile, symLink) },
+		func() error { return fs.Mkdir(emptyDir, 0o755) },
+		func() error { return fs.Mkdir(rmdirMe, 0o755) },
+		// Give the soon-removed directory a real directory block (and, in
+		// journaling file systems, a revoke record when it is freed).
+		func() error { return fs.Create(rmdirMe+"/tmp", 0o644) },
+		func() error { return fs.Unlink(rmdirMe + "/tmp") },
+		func() error { return fs.Create(renameSrc, 0o644) },
+		func() error { return fs.Create(fsyncMe, 0o644) },
+		// Populate enough objects that tree-structured file systems grow
+		// real internal nodes and multiple leaves (the paper stresses
+		// exactly this: "our workloads ensure that sufficiently large
+		// files are created to access these structures", §4.1). The /rf*
+		// root files give tree file systems leaves that hold only stat
+		// items, and two of them are touched by the b and c workloads.
+		func() error { return fs.Mkdir("/pop", 0o755) },
+		func() error {
+			for i := 0; i < 120; i++ {
+				p := fmt.Sprintf("/pop/file%03d", i)
+				if err := fs.Create(p, 0o644); err != nil {
+					return err
+				}
+				if _, err := fs.Write(p, 0, []byte(p)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func() error {
+			for i := 0; i < 40; i++ {
+				p := fmt.Sprintf("/rf%03d", i)
+				if err := fs.Create(p, 0o644); err != nil {
+					return err
+				}
+				if _, err := fs.Write(p, 0, []byte(p)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		// The large files live in /ind and are created last: in key-space
+		// file systems their stat and indirect items then occupy a region
+		// of their own, so leaf classification sees pure indirect leaves.
+		func() error { return fs.Mkdir("/ind", 0o755) },
+		func() error { return fs.Create(bigFile, 0o644) },
+		func() error {
+			data := make([]byte, bigFileBlocks*4096)
+			for i := range data {
+				data[i] = byte(i / 4096)
+			}
+			_, err := fs.Write(bigFile, 0, data)
+			return err
+		},
+		func() error { return fs.Create(unlinkMe, 0o644) },
+		func() error { _, err := fs.Write(unlinkMe, 0, bytes.Repeat([]byte("u"), 14*4096)); return err },
+		func() error { return fs.Create(truncMe, 0o644) },
+		func() error { _, err := fs.Write(truncMe, 0, bytes.Repeat([]byte("t"), 18*4096)); return err },
+	}
+	for i, step := range steps {
+		if err := step(); err != nil {
+			return fmt.Errorf("prepare step %d: %w", i, err)
+		}
+	}
+	return fs.Unmount()
+}
+
+// dirtyImage performs extra work and abandons the file system without
+// unmounting. The runner executes it against a CrashDevice whose write
+// budget cuts the tail of the final commit, so the image holds a journal
+// transaction that recovery must examine. Errors are expected once the
+// crash point hits and are ignored by the caller.
+func dirtyImage(fs vfs.FileSystem) error {
+	if err := fs.Mount(); err != nil {
+		return err
+	}
+	// Two separate committed transactions: with the crash cutting the tail
+	// of the second, recovery still finds the first fully intact — so the
+	// replay path reads descriptor, journal data, and commit blocks on
+	// every file system.
+	for _, name := range []string{"/crashfile1", "/crashfile2"} {
+		if err := fs.Create(name, 0o644); err != nil {
+			return err
+		}
+		if _, err := fs.Write(name, 0, bytes.Repeat([]byte("c"), 6000)); err != nil {
+			return err
+		}
+		if err := fs.Fsync(name); err != nil {
+			return err
+		}
+	}
+	// No unmount: the image stays marked dirty.
+	return nil
+}

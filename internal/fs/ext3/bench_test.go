@@ -1,0 +1,124 @@
+package ext3
+
+import (
+	"fmt"
+	"testing"
+
+	"ironfs/internal/disk"
+)
+
+func benchFS(b *testing.B, opts Options) *FS {
+	b.Helper()
+	d, err := disk.New(16384, disk.DefaultGeometry(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := Mkfs(d, opts); err != nil {
+		b.Fatal(err)
+	}
+	fs := New(d, opts, nil)
+	if err := fs.Mount(); err != nil {
+		b.Fatal(err)
+	}
+	return fs
+}
+
+func BenchmarkCreateCommit(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		opts Options
+	}{
+		{"ext3", Options{}},
+		{"ixt3", AllIron()},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			fs := benchFS(b, cfg.opts)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Create+commit+unlink per iteration, so arbitrary b.N
+				// never exhausts the fixed inode table.
+				p := fmt.Sprintf("/f%07d", i)
+				if err := fs.Create(p, 0o644); err != nil {
+					b.Fatal(err)
+				}
+				if err := fs.Fsync(p); err != nil {
+					b.Fatal(err)
+				}
+				if err := fs.Unlink(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkWrite4K(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		opts Options
+	}{
+		{"ext3", Options{}},
+		{"ixt3", AllIron()},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			fs := benchFS(b, cfg.opts)
+			if err := fs.Create("/f", 0o644); err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]byte, 4096)
+			b.SetBytes(4096)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fs.Write("/f", int64(i%256)*4096, buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkScrub(b *testing.B) {
+	fs := benchFS(b, AllIron())
+	for i := 0; i < 20; i++ {
+		p := fmt.Sprintf("/s%02d", i)
+		if err := fs.Create(p, 0o644); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fs.Write(p, 0, make([]byte, 8*BlockSize)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.Scrub(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFsck(b *testing.B) {
+	fs := benchFS(b, Options{})
+	for i := 0; i < 20; i++ {
+		p := fmt.Sprintf("/s%02d", i)
+		if err := fs.Create(p, 0o644); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fs.Write(p, 0, make([]byte, 8*BlockSize)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.CheckConsistency(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

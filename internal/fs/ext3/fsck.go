@@ -1,0 +1,366 @@
+package ext3
+
+import (
+	"fmt"
+
+	"ironfs/internal/iron"
+	"ironfs/internal/vfs"
+)
+
+// This file implements the taxonomy's cross-block sanity checking and
+// automatic repair (§3.1's "checking across blocks ... similar to fsck"
+// and §3.3's RRepair): a full-volume consistency check that compares the
+// allocation bitmaps, link counts, and free counters against the reachable
+// tree, and a repair pass that fixes what it finds. The paper argues even
+// journaling file systems want this — "a buggy journaling file system
+// could unknowingly corrupt its on-disk structures; running fsck in the
+// background could detect and recover from such problems."
+
+// Problem is one inconsistency found by CheckConsistency.
+type Problem struct {
+	// Kind is a stable identifier: "block-bitmap", "inode-bitmap",
+	// "link-count", "free-blocks", "free-inodes", "orphan-inode",
+	// "double-ref", "bad-pointer".
+	Kind string
+	// Detail locates the problem.
+	Detail string
+}
+
+// String renders the problem as "kind: detail".
+func (p Problem) String() string { return p.Kind + ": " + p.Detail }
+
+// fsckState is the reachability census both passes share.
+type fsckState struct {
+	usedBlocks map[int64]bool    // every block a reachable structure uses
+	doubleRef  []int64           // blocks referenced more than once
+	badPtrs    []string          // pointers outside the volume
+	linkCounts map[uint32]uint16 // directory-entry references per inode
+	reachable  map[uint32]bool
+}
+
+// census walks the directory tree from the root, recording reachability,
+// link counts, and block usage.
+func (fs *FS) census() (*fsckState, error) {
+	st := &fsckState{
+		usedBlocks: map[int64]bool{},
+		linkCounts: map[uint32]uint16{},
+		reachable:  map[uint32]bool{},
+	}
+	claim := func(blk int64, what string) {
+		if g := fs.lay.groupOf(blk); g < 0 {
+			st.badPtrs = append(st.badPtrs, fmt.Sprintf("%s -> block %d", what, blk))
+			return
+		}
+		if st.usedBlocks[blk] {
+			st.doubleRef = append(st.doubleRef, blk)
+			return
+		}
+		st.usedBlocks[blk] = true
+	}
+
+	var walkDir func(ino uint32, depth int) error
+	visitInode := func(ino uint32, what string) (*inode, error) {
+		in, err := fs.loadInode(ino)
+		if err != nil {
+			return nil, err
+		}
+		if !in.allocated() {
+			return nil, nil
+		}
+		if st.reachable[ino] {
+			return in, nil // blocks already claimed via another link
+		}
+		st.reachable[ino] = true
+		if in.Parity != 0 {
+			claim(int64(in.Parity), what+" parity")
+		}
+		// Claim data and indirect blocks.
+		nblocks := (int64(in.Size) + BlockSize - 1) / BlockSize
+		for l := int64(0); l < nblocks; l++ {
+			phys, err := fs.bmap(in, l, false)
+			if err != nil {
+				return nil, err
+			}
+			if phys != 0 {
+				claim(phys, fmt.Sprintf("%s block %d", what, l))
+			}
+		}
+		claimTree := func(root uint64, depth int) {
+			if root == 0 {
+				return
+			}
+			var rec func(blk int64, d int)
+			rec = func(blk int64, d int) {
+				claim(blk, what+" indirect")
+				if d == 0 {
+					return
+				}
+				buf, err := fs.readMeta(blk, BTIndirect)
+				if err != nil {
+					return
+				}
+				for i := int64(0); i < PtrsPerBlock; i++ {
+					if p := getPtr(buf, i); p != 0 && d > 1 {
+						rec(p, d-1)
+					}
+				}
+			}
+			rec(int64(root), depth)
+		}
+		claimTree(in.Ind, 1)
+		claimTree(in.DInd, 2)
+		claimTree(in.TInd, 3)
+		return in, nil
+	}
+
+	walkDir = func(ino uint32, depth int) error {
+		if depth > 64 {
+			return vfs.ErrCorrupt
+		}
+		in, err := visitInode(ino, fmt.Sprintf("inode %d", ino))
+		if err != nil || in == nil {
+			return err
+		}
+		if !in.isDir() {
+			return nil
+		}
+		ents, err := fs.dirList(in)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			st.linkCounts[e.Ino]++
+			already := st.reachable[e.Ino]
+			if e.Type == vfs.TypeDirectory {
+				if err := walkDir(e.Ino, depth+1); err != nil {
+					return err
+				}
+			} else if !already {
+				if _, err := visitInode(e.Ino, fmt.Sprintf("inode %d", e.Ino)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	st.linkCounts[RootIno] = 1
+	if err := walkDir(RootIno, 0); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// CheckConsistency scans the whole volume and reports every cross-block
+// inconsistency: bitmap bits that disagree with reachability, wrong link
+// counts, stale free counters, unreachable (orphan) inodes, doubly
+// referenced blocks, and wild pointers. It does not modify anything.
+func (fs *FS) CheckConsistency() ([]Problem, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.checkLocked()
+}
+
+func (fs *FS) checkLocked() ([]Problem, error) {
+	if !fs.mounted {
+		return nil, vfs.ErrNotMounted
+	}
+	st, err := fs.census()
+	if err != nil {
+		return nil, err
+	}
+	var probs []Problem
+	add := func(kind, format string, args ...interface{}) {
+		probs = append(probs, Problem{Kind: kind, Detail: fmt.Sprintf(format, args...)})
+	}
+	for _, b := range st.doubleRef {
+		add("double-ref", "block %d referenced more than once", b)
+	}
+	for _, p := range st.badPtrs {
+		add("bad-pointer", "%s", p)
+	}
+
+	// Block bitmaps vs reachability.
+	var freeBlocks uint64
+	for g := uint32(0); g < fs.lay.sb.GroupCount; g++ {
+		bm, err := fs.readMeta(int64(fs.gds[g].DataBitmap), BTBitmap)
+		if err != nil {
+			return probs, err
+		}
+		start := fs.lay.groupStart(g)
+		first := groupMetaBlks + int64(fs.lay.sb.ITableBlocks)
+		for b := first; b < int64(fs.lay.sb.BlocksPerGroup); b++ {
+			abs := start + b
+			marked := testBit(bm, b)
+			used := st.usedBlocks[abs]
+			switch {
+			case marked && !used:
+				add("block-bitmap", "block %d marked allocated but unreachable", abs)
+			case !marked && used:
+				add("block-bitmap", "block %d in use but marked free", abs)
+			}
+			if !marked {
+				freeBlocks++
+			}
+		}
+	}
+	if freeBlocks != fs.lay.sb.FreeBlocks {
+		add("free-blocks", "superblock says %d free, bitmaps say %d", fs.lay.sb.FreeBlocks, freeBlocks)
+	}
+
+	// Inode bitmaps, link counts, orphans.
+	var freeInodes uint64
+	total := fs.lay.sb.InodesPerGroup * fs.lay.sb.GroupCount
+	for ino := uint32(1); ino <= total; ino++ {
+		in, err := fs.loadInode(ino)
+		if err != nil {
+			return probs, err
+		}
+		g := fs.groupOfInode(ino)
+		bm, err := fs.readMeta(int64(fs.gds[g].INodeBMap), BTIBitmap)
+		if err != nil {
+			return probs, err
+		}
+		within := int64((ino - 1) % fs.lay.sb.InodesPerGroup)
+		marked := testBit(bm, within)
+		switch {
+		case in.allocated() && !marked:
+			add("inode-bitmap", "inode %d in use but marked free", ino)
+		case !in.allocated() && marked:
+			add("inode-bitmap", "inode %d free but marked allocated", ino)
+		}
+		if !marked {
+			freeInodes++
+		}
+		if in.allocated() {
+			if !st.reachable[ino] {
+				add("orphan-inode", "inode %d allocated but unreachable", ino)
+			} else if in.Links != st.linkCounts[ino] {
+				add("link-count", "inode %d has links=%d, directory tree says %d",
+					ino, in.Links, st.linkCounts[ino])
+			}
+		}
+	}
+	if freeInodes != fs.lay.sb.FreeInodes {
+		add("free-inodes", "superblock says %d free, bitmaps say %d", fs.lay.sb.FreeInodes, freeInodes)
+	}
+	return probs, nil
+}
+
+// Repair runs CheckConsistency and fixes what it can: bitmap bits are
+// reconciled with reachability, link counts corrected, free counters
+// recomputed, and orphan inodes freed. Every fix is recorded as RRepair.
+// It returns the problems found (all of which are fixed unless an error
+// interrupts the pass).
+func (fs *FS) Repair() ([]Problem, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.mounted {
+		return nil, vfs.ErrNotMounted
+	}
+	if err := fs.health.CheckWrite(); err != nil {
+		return nil, err
+	}
+	probs, err := fs.checkLocked()
+	if err != nil {
+		return probs, err
+	}
+	if len(probs) == 0 {
+		return nil, nil
+	}
+	st, err := fs.census()
+	if err != nil {
+		return probs, err
+	}
+
+	// Reconcile block bitmaps and recompute free-block counts.
+	fs.rec.Detect(iron.DSanity, BTBitmap, "full-scan integrity check found inconsistencies")
+	var freeBlocks uint64
+	for g := uint32(0); g < fs.lay.sb.GroupCount; g++ {
+		bm, err := fs.tx.meta(int64(fs.gds[g].DataBitmap), BTBitmap)
+		if err != nil {
+			return probs, err
+		}
+		start := fs.lay.groupStart(g)
+		first := groupMetaBlks + int64(fs.lay.sb.ITableBlocks)
+		var groupFree uint32
+		for b := int64(0); b < int64(fs.lay.sb.BlocksPerGroup); b++ {
+			if b < first {
+				setBit(bm, b)
+				continue
+			}
+			if st.usedBlocks[start+b] {
+				setBit(bm, b)
+			} else {
+				clearBit(bm, b)
+				groupFree++
+				freeBlocks++
+			}
+		}
+		fs.gds[g].FreeBlocks = groupFree
+		if err := fs.writeGroupDesc(g); err != nil {
+			return probs, err
+		}
+	}
+	fs.rec.Recover(iron.RRepair, BTBitmap, "block bitmaps rebuilt from reachability")
+
+	// Inodes: orphans freed, link counts corrected, inode bitmaps rebuilt.
+	var freeInodes uint64
+	total := fs.lay.sb.InodesPerGroup * fs.lay.sb.GroupCount
+	perGroupFree := make([]uint32, fs.lay.sb.GroupCount)
+	for ino := uint32(1); ino <= total; ino++ {
+		in, err := fs.loadInode(ino)
+		if err != nil {
+			return probs, err
+		}
+		g := fs.groupOfInode(ino)
+		bm, err := fs.tx.meta(int64(fs.gds[g].INodeBMap), BTIBitmap)
+		if err != nil {
+			return probs, err
+		}
+		within := int64((ino - 1) % fs.lay.sb.InodesPerGroup)
+		switch {
+		case in.allocated() && !st.reachable[ino]:
+			if err := fs.clearInode(ino); err != nil {
+				return probs, err
+			}
+			clearBit(bm, within)
+			freeInodes++
+			perGroupFree[g]++
+			fs.rec.Recover(iron.RRepair, BTInode, fmt.Sprintf("orphan inode %d freed", ino))
+		case in.allocated():
+			setBit(bm, within)
+			if want := st.linkCounts[ino]; in.Links != want {
+				in.Links = want
+				if err := fs.storeInode(ino, in); err != nil {
+					return probs, err
+				}
+				fs.rec.Recover(iron.RRepair, BTInode, fmt.Sprintf("inode %d link count corrected", ino))
+			}
+		default:
+			clearBit(bm, within)
+			freeInodes++
+			perGroupFree[g]++
+		}
+	}
+	for g := range perGroupFree {
+		fs.gds[g].FreeInodes = perGroupFree[g]
+		if err := fs.writeGroupDesc(uint32(g)); err != nil {
+			return probs, err
+		}
+	}
+	fs.rec.Recover(iron.RRepair, BTIBitmap, "inode bitmaps rebuilt")
+
+	fs.lay.sb.FreeBlocks = freeBlocks
+	fs.lay.sb.FreeInodes = freeInodes
+	fs.sbDirty = true
+	if err := fs.commitLocked(); err != nil {
+		return probs, err
+	}
+	if err := fs.checkpointLocked(); err != nil {
+		return probs, err
+	}
+	if err := fs.writeSuperLocked(0); err != nil {
+		return probs, err
+	}
+	return probs, nil
+}

@@ -1,0 +1,59 @@
+package ixt3
+
+import (
+	"testing"
+
+	"ironfs/internal/disk"
+	"ironfs/internal/fstest"
+	"ironfs/internal/vfs"
+)
+
+func TestModelRandomOps(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(string(rune('A'+seed)), func(t *testing.T) {
+			d, err := disk.New(8192, disk.DefaultGeometry(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Mkfs(d, All()); err != nil {
+				t.Fatal(err)
+			}
+			fs := New(d, All(), nil)
+			if err := fs.Mount(); err != nil {
+				t.Fatal(err)
+			}
+			if err := fstest.Run(fs, fstest.Config{Seed: seed, Ops: 250, MaxFileKB: 48}); err != nil {
+				t.Fatal(err)
+			}
+			if err := fs.Unmount(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestCrashConsistencySweep verifies that the IRON machinery (checksums,
+// replica log, parity, transactional checksums) does not weaken ext3's
+// crash guarantees.
+func TestCrashConsistencySweep(t *testing.T) {
+	points, err := fstest.SweepCrashes(fstest.CrashConfig{Stride: 1},
+		func(dev disk.Device) error { return Mkfs(dev, All()) },
+		func(dev disk.Device) vfs.FileSystem { return New(dev, All(), nil) })
+	if err != nil {
+		t.Fatalf("after %d crash points: %v", points, err)
+	}
+	t.Logf("verified %d crash points", points)
+}
+
+func TestFeatureLabels(t *testing.T) {
+	if got := (Features{}).Label(); got != "(ext3)" {
+		t.Errorf("empty label = %q", got)
+	}
+	if got := All().Label(); got != "Mc Mr Dc Dp Tc" {
+		t.Errorf("full label = %q", got)
+	}
+	if got := (Features{Dc: true, Tc: true}).Label(); got != "Dc Tc" {
+		t.Errorf("partial label = %q", got)
+	}
+}

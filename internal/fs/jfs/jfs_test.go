@@ -1,0 +1,183 @@
+package jfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"ironfs/internal/disk"
+	"ironfs/internal/iron"
+	"ironfs/internal/vfs"
+)
+
+func newTestFS(t *testing.T) (*FS, *disk.Disk) {
+	t.Helper()
+	d, err := disk.New(8192, disk.DefaultGeometry(), nil)
+	if err != nil {
+		t.Fatalf("disk.New: %v", err)
+	}
+	if err := Mkfs(d); err != nil {
+		t.Fatalf("Mkfs: %v", err)
+	}
+	fs := New(d, iron.NewRecorder())
+	if err := fs.Mount(); err != nil {
+		t.Fatalf("Mount: %v", err)
+	}
+	return fs, d
+}
+
+func TestMkfsMount(t *testing.T) {
+	fs, _ := newTestFS(t)
+	st, err := fs.Statfs()
+	if err != nil {
+		t.Fatalf("Statfs: %v", err)
+	}
+	if st.TotalBlocks != 8192 || st.FreeBlocks <= 0 || st.FreeInodes <= 0 {
+		t.Errorf("Statfs = %+v", st)
+	}
+	if err := fs.Unmount(); err != nil {
+		t.Fatalf("Unmount: %v", err)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	fs, _ := newTestFS(t)
+	if err := fs.Create("/f", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("jfs!"), 9000) // 36 KB: direct + internal
+	if _, err := fs.Write("/f", 0, data); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got := make([]byte, len(data))
+	if n, err := fs.Read("/f", 0, got); err != nil || n != len(data) {
+		t.Fatalf("Read = %d, %v", n, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("content mismatch")
+	}
+}
+
+func TestDirOpsAndPersistence(t *testing.T) {
+	fs, d := newTestFS(t)
+	if err := fs.Mkdir("/dir", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		p := fmt.Sprintf("/dir/f%02d", i)
+		if err := fs.Create(p, 0o644); err != nil {
+			t.Fatalf("Create %s: %v", p, err)
+		}
+		if _, err := fs.Write(p, 0, []byte(p)); err != nil {
+			t.Fatalf("Write %s: %v", p, err)
+		}
+	}
+	ents, err := fs.ReadDir("/dir")
+	if err != nil || len(ents) != 50 {
+		t.Fatalf("ReadDir = %d, %v", len(ents), err)
+	}
+	for i := 0; i < 25; i++ {
+		if err := fs.Unlink(fmt.Sprintf("/dir/f%02d", i)); err != nil {
+			t.Fatalf("Unlink: %v", err)
+		}
+	}
+	if err := fs.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	fs2 := New(d, nil)
+	if err := fs2.Mount(); err != nil {
+		t.Fatalf("remount: %v", err)
+	}
+	ents, err = fs2.ReadDir("/dir")
+	if err != nil || len(ents) != 25 {
+		t.Fatalf("after remount ReadDir = %d, %v", len(ents), err)
+	}
+	p := "/dir/f30"
+	buf := make([]byte, len(p))
+	if _, err := fs2.Read(p, 0, buf); err != nil || string(buf) != p {
+		t.Fatalf("Read = %q, %v", buf, err)
+	}
+}
+
+func TestRecordLogReplay(t *testing.T) {
+	fs, d := newTestFS(t)
+	if err := fs.Create("/logged", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Write("/logged", 0, []byte("record-level")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash without unmount.
+	fs2 := New(d, nil)
+	if err := fs2.Mount(); err != nil {
+		t.Fatalf("dirty mount: %v", err)
+	}
+	buf := make([]byte, 12)
+	if _, err := fs2.Read("/logged", 0, buf); err != nil || string(buf) != "record-level" {
+		t.Fatalf("after replay: %q, %v", buf, err)
+	}
+}
+
+func TestAlternateSuperblockOnReadFailure(t *testing.T) {
+	// JFS's one real use of redundancy: mount falls back to the secondary
+	// superblock when the primary read *fails* (but not when it is merely
+	// corrupt — tested by the fingerprint suite).
+	d, _ := disk.New(8192, disk.DefaultGeometry(), nil)
+	if err := Mkfs(d); err != nil {
+		t.Fatal(err)
+	}
+	rec := iron.NewRecorder()
+	fs := New(d, rec)
+	fs.dev = &failPrimarySB{Device: d}
+	if err := fs.Mount(); err != nil {
+		t.Fatalf("Mount with failed primary: %v", err)
+	}
+	if !rec.Recoveries().Has(iron.RRedundancy) {
+		t.Errorf("RRedundancy not recorded:\n%s", rec.Summary())
+	}
+}
+
+func TestRenameLinkSymlink(t *testing.T) {
+	fs, _ := newTestFS(t)
+	if err := fs.Create("/a", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Write("/a", 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Link("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/a", "/c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Access("/a"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("/a still exists: %v", err)
+	}
+	if err := fs.Symlink("/c", "/ln"); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := fs.Read("/ln", 0, buf); err != nil || buf[0] != 'x' {
+		t.Fatalf("via symlink: %q, %v", buf, err)
+	}
+	fi, err := fs.Stat("/b")
+	if err != nil || fi.Links != 2 {
+		t.Fatalf("links = %d, %v", fi.Links, err)
+	}
+}
+
+type failPrimarySB struct {
+	disk.Device
+}
+
+func (f *failPrimarySB) ReadBlock(blk int64, buf []byte) error {
+	if blk == sbPrimary {
+		return disk.ErrIO
+	}
+	return f.Device.ReadBlock(blk, buf)
+}

@@ -1,0 +1,699 @@
+package jfs
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"ironfs/internal/iron"
+	"ironfs/internal/vfs"
+)
+
+// Allocation, inodes, directories, file mapping, and the VFS operations.
+
+// ---------------------------------------------------------------------------
+// Allocation maps.
+// ---------------------------------------------------------------------------
+
+const bitsPerBlock = BlockSize * 8
+
+// writeBMapDesc logs the descriptor (both field copies) after a change.
+func (fs *FS) writeBMapDesc() error {
+	buf := make([]byte, 32)
+	fs.bmd.FreeCheck = fs.bmd.Free
+	fs.bmd.marshal(buf)
+	return fs.logMeta(bmapDescBlk, 0, buf, BTBMapDesc)
+}
+
+// writeIMapCtl logs the imap control page after a change.
+func (fs *FS) writeIMapCtl() error {
+	buf := make([]byte, 32)
+	fs.imc.marshal(buf)
+	return fs.logMeta(int64(fs.sb.IMapCtl), 0, buf, BTIMapCtl)
+}
+
+// allocBlock finds and claims a free block.
+func (fs *FS) allocBlock() (int64, error) {
+	for bm := int64(0); bm < int64(fs.sb.BMapLen); bm++ {
+		bmBlk := int64(fs.sb.BMapStart) + bm
+		buf, err := fs.readMeta(bmBlk, BTBMap)
+		if err != nil {
+			return 0, err
+		}
+		for i := 0; i < BlockSize; i++ {
+			if buf[i] == 0xFF {
+				continue
+			}
+			for bit := 0; bit < 8; bit++ {
+				if buf[i]&(1<<bit) != 0 {
+					continue
+				}
+				blk := bm*bitsPerBlock + int64(i)*8 + int64(bit)
+				if blk >= int64(fs.sb.BlockCount) {
+					return 0, vfs.ErrNoSpace
+				}
+				nb := []byte{buf[i] | 1<<bit}
+				if err := fs.logMeta(bmBlk, i, nb, BTBMap); err != nil {
+					return 0, err
+				}
+				if fs.bmd.Free > 0 {
+					fs.bmd.Free--
+				}
+				if fs.sb.FreeBlocks > 0 {
+					fs.sb.FreeBlocks--
+				}
+				if err := fs.writeBMapDesc(); err != nil {
+					return 0, err
+				}
+				return blk, nil
+			}
+		}
+	}
+	return 0, vfs.ErrNoSpace
+}
+
+// freeBlock releases blk.
+func (fs *FS) freeBlock(blk int64) error {
+	if blk <= 0 || blk >= int64(fs.sb.BlockCount) {
+		return nil // wild pointer: no sanity checking here, silently skipped
+	}
+	bmBlk := int64(fs.sb.BMapStart) + blk/bitsPerBlock
+	buf, err := fs.readMeta(bmBlk, BTBMap)
+	if err != nil {
+		return err
+	}
+	i := int((blk % bitsPerBlock) / 8)
+	bit := uint(blk % 8)
+	if buf[i]&(1<<bit) != 0 {
+		nb := []byte{buf[i] &^ (1 << bit)}
+		if err := fs.logMeta(bmBlk, i, nb, BTBMap); err != nil {
+			return err
+		}
+		fs.bmd.Free++
+		fs.sb.FreeBlocks++
+		if err := fs.writeBMapDesc(); err != nil {
+			return err
+		}
+	}
+	fs.dropBlock(blk)
+	return nil
+}
+
+// allocInode claims a free inode number.
+func (fs *FS) allocInode() (uint32, error) {
+	for im := int64(0); im < int64(fs.sb.IMapLen); im++ {
+		imBlk := int64(fs.sb.IMapStart) + im
+		buf, err := fs.readMeta(imBlk, BTIMap)
+		if err != nil {
+			return 0, err
+		}
+		for i := 0; i < BlockSize; i++ {
+			if buf[i] == 0xFF {
+				continue
+			}
+			for bit := 0; bit < 8; bit++ {
+				if buf[i]&(1<<bit) != 0 {
+					continue
+				}
+				ino := uint32(im*bitsPerBlock+int64(i)*8+int64(bit)) + 1
+				if uint64(ino) > fs.imc.TotInodes {
+					return 0, vfs.ErrNoInodes
+				}
+				nb := []byte{buf[i] | 1<<bit}
+				if err := fs.logMeta(imBlk, i, nb, BTIMap); err != nil {
+					return 0, err
+				}
+				if fs.imc.FreeInodes > 0 {
+					fs.imc.FreeInodes--
+				}
+				if err := fs.writeIMapCtl(); err != nil {
+					return 0, err
+				}
+				return ino, nil
+			}
+		}
+	}
+	return 0, vfs.ErrNoInodes
+}
+
+// freeInode releases an inode number.
+func (fs *FS) freeInode(ino uint32) error {
+	if ino == 0 || uint64(ino) > fs.imc.TotInodes {
+		return nil
+	}
+	idx := int64(ino - 1)
+	imBlk := int64(fs.sb.IMapStart) + idx/bitsPerBlock
+	buf, err := fs.readMeta(imBlk, BTIMap)
+	if err != nil {
+		return err
+	}
+	i := int((idx % bitsPerBlock) / 8)
+	bit := uint(idx % 8)
+	if buf[i]&(1<<bit) != 0 {
+		nb := []byte{buf[i] &^ (1 << bit)}
+		if err := fs.logMeta(imBlk, i, nb, BTIMap); err != nil {
+			return err
+		}
+		fs.imc.FreeInodes++
+		if err := fs.writeIMapCtl(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Inodes.
+// ---------------------------------------------------------------------------
+
+func (fs *FS) inodeLoc(ino uint32) (int64, int, error) {
+	if ino == 0 || uint64(ino) > fs.imc.TotInodes {
+		return 0, 0, vfs.ErrInval
+	}
+	idx := int64(ino - 1)
+	return int64(fs.sb.ITabStart) + idx/InodesPB, int(idx%InodesPB) * InodeSize, nil
+}
+
+// loadInode reads an inode, applying JFS's entry-count-style sanity checks
+// (size bound, valid type bits). A violation propagates and remounts
+// read-only (§5.3).
+func (fs *FS) loadInode(ino uint32) (*inode, error) {
+	blk, off, err := fs.inodeLoc(ino)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := fs.readMeta(blk, BTInode)
+	if err != nil {
+		return nil, err
+	}
+	in := &inode{}
+	in.unmarshal(buf[off : off+InodeSize])
+	if in.allocated() {
+		if int64(in.Size) > maxFileBlocks*BlockSize {
+			fs.rec.Detect(iron.DSanity, BTInode, "inode size exceeds maximum")
+			fs.rec.Recover(iron.RPropagate, BTInode, "error propagated")
+			fs.remountRO(BTInode, "inode sanity failure")
+			return nil, vfs.ErrCorrupt
+		}
+		switch in.Mode & modeTypeMsk {
+		case modeRegular, modeDir, modeSymlink:
+		default:
+			fs.rec.Detect(iron.DSanity, BTInode, "inode type bits invalid")
+			fs.rec.Recover(iron.RPropagate, BTInode, "error propagated")
+			fs.remountRO(BTInode, "inode sanity failure")
+			return nil, vfs.ErrCorrupt
+		}
+	}
+	return in, nil
+}
+
+// storeInode logs the inode's new image (a 256-byte redo record — the
+// record-level journaling JFS is known for).
+func (fs *FS) storeInode(ino uint32, in *inode) error {
+	blk, off, err := fs.inodeLoc(ino)
+	if err != nil {
+		return err
+	}
+	img := make([]byte, InodeSize)
+	in.marshal(img)
+	return fs.logMeta(blk, off, img, BTInode)
+}
+
+// clearInode zeroes an inode slot.
+func (fs *FS) clearInode(ino uint32) error {
+	blk, off, err := fs.inodeLoc(ino)
+	if err != nil {
+		return err
+	}
+	return fs.logMeta(blk, off, make([]byte, InodeSize), BTInode)
+}
+
+// ---------------------------------------------------------------------------
+// File block mapping: direct extents + internal pointer blocks.
+// ---------------------------------------------------------------------------
+
+// readInternal reads an internal pointer block with its entry-count sanity
+// check. guessOnFail selects the reproduced RGuess bug: on a failed check
+// during a *read* path, JFS hands back a blank page instead of an error.
+func (fs *FS) readInternal(blk int64, guessOnFail bool) ([]byte, error) {
+	buf, err := fs.readMeta(blk, BTInternal)
+	if err != nil {
+		return nil, err
+	}
+	count := binary.LittleEndian.Uint32(buf[0:])
+	if count > ptrsPerInt {
+		fs.rec.Detect(iron.DSanity, BTInternal, "internal block entry count out of range")
+		if guessOnFail {
+			fs.rec.Recover(iron.RGuess, BTInternal, "blank page returned to user")
+			return make([]byte, BlockSize), nil
+		}
+		fs.rec.Recover(iron.RPropagate, BTInternal, "error propagated")
+		fs.remountRO(BTInternal, "internal block sanity failure")
+		return nil, vfs.ErrCorrupt
+	}
+	return buf, nil
+}
+
+// blockPtr maps logical file block l; alloc creates missing levels. The
+// caller must storeInode if the inode changed. readPath selects the RGuess
+// behavior for sanity failures.
+func (fs *FS) blockPtr(in *inode, l int64, alloc, readPath bool) (int64, error) {
+	if l < 0 || l >= maxFileBlocks {
+		return 0, vfs.ErrInval
+	}
+	if l < directExts {
+		if in.Direct[l] == 0 && alloc {
+			blk, err := fs.allocBlock()
+			if err != nil {
+				return 0, err
+			}
+			in.Direct[l] = uint64(blk)
+		}
+		return int64(in.Direct[l]), nil
+	}
+	g := (l - directExts) / ptrsPerInt
+	idx := (l - directExts) % ptrsPerInt
+	if in.Intern[g] == 0 {
+		if !alloc {
+			return 0, nil
+		}
+		blk, err := fs.allocBlock()
+		if err != nil {
+			return 0, err
+		}
+		hdr := make([]byte, 8)
+		if err := fs.logMeta(blk, 0, hdr, BTInternal); err != nil {
+			return 0, err
+		}
+		in.Intern[g] = uint64(blk)
+	}
+	ib := int64(in.Intern[g])
+	buf, err := fs.readInternal(ib, readPath && !alloc)
+	if err != nil {
+		return 0, err
+	}
+	ptr := int64(binary.LittleEndian.Uint64(buf[8+idx*8:]))
+	if ptr == 0 && alloc {
+		blk, err := fs.allocBlock()
+		if err != nil {
+			return 0, err
+		}
+		var rec [8]byte
+		binary.LittleEndian.PutUint64(rec[:], uint64(blk))
+		if err := fs.logMeta(ib, int(8+idx*8), rec[:], BTInternal); err != nil {
+			return 0, err
+		}
+		count := binary.LittleEndian.Uint32(buf[0:])
+		if uint32(idx)+1 > count {
+			var cb [4]byte
+			binary.LittleEndian.PutUint32(cb[:], uint32(idx)+1)
+			if err := fs.logMeta(ib, 0, cb[:], BTInternal); err != nil {
+				return 0, err
+			}
+		}
+		ptr = blk
+	}
+	return ptr, nil
+}
+
+// freeFileBlocks releases all blocks past newSize and unused internal
+// blocks.
+func (fs *FS) freeFileBlocks(in *inode, newSize int64) error {
+	keep := (newSize + BlockSize - 1) / BlockSize
+	old := (int64(in.Size) + BlockSize - 1) / BlockSize
+	for l := keep; l < old && l < directExts; l++ {
+		if in.Direct[l] != 0 {
+			if err := fs.freeBlock(int64(in.Direct[l])); err != nil {
+				return err
+			}
+			in.Direct[l] = 0
+		}
+	}
+	for g := int64(0); g < internPtrs; g++ {
+		if in.Intern[g] == 0 {
+			continue
+		}
+		base := directExts + g*ptrsPerInt
+		if base+ptrsPerInt <= keep {
+			continue
+		}
+		ib := int64(in.Intern[g])
+		buf, err := fs.readInternal(ib, false)
+		if err != nil {
+			return err
+		}
+		live := 0
+		for idx := int64(0); idx < ptrsPerInt; idx++ {
+			ptr := int64(binary.LittleEndian.Uint64(buf[8+idx*8:]))
+			if ptr == 0 {
+				continue
+			}
+			if base+idx >= keep {
+				if err := fs.freeBlock(ptr); err != nil {
+					return err
+				}
+				var z [8]byte
+				if err := fs.logMeta(ib, int(8+idx*8), z[:], BTInternal); err != nil {
+					return err
+				}
+			} else {
+				live++
+			}
+		}
+		if live == 0 {
+			if err := fs.freeBlock(ib); err != nil {
+				return err
+			}
+			in.Intern[g] = 0
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Directories: blocks with an entry count header (sanity-checked) followed
+// by packed entries [ino u32, ftype u8, nameLen u8, name].
+// ---------------------------------------------------------------------------
+
+const dirEntHdr = 6
+
+type dirEnt struct {
+	Ino   uint32
+	FType byte
+	Name  string
+	off   int // byte offset in block
+	end   int
+}
+
+// parseDir decodes a directory block, applying the entry-count sanity
+// check JFS performs on directory blocks.
+func (fs *FS) parseDir(buf []byte) ([]dirEnt, error) {
+	count := binary.LittleEndian.Uint32(buf[0:])
+	if count > maxEntsDir {
+		fs.rec.Detect(iron.DSanity, BTDir, "directory entry count out of range")
+		fs.rec.Recover(iron.RPropagate, BTDir, "error propagated")
+		fs.remountRO(BTDir, "directory sanity failure")
+		return nil, vfs.ErrCorrupt
+	}
+	var out []dirEnt
+	off := 4
+	for i := uint32(0); i < count; i++ {
+		if off+dirEntHdr > BlockSize {
+			break // truncated chain: believed silently (no type info)
+		}
+		nameLen := int(buf[off+5])
+		if off+dirEntHdr+nameLen > BlockSize || nameLen == 0 {
+			break
+		}
+		out = append(out, dirEnt{
+			Ino:   binary.LittleEndian.Uint32(buf[off:]),
+			FType: buf[off+4],
+			Name:  string(buf[off+dirEntHdr : off+dirEntHdr+nameLen]),
+			off:   off,
+			end:   off + dirEntHdr + nameLen,
+		})
+		off += dirEntHdr + nameLen
+	}
+	return out, nil
+}
+
+// dirBlocks iterates a directory's data blocks.
+func (fs *FS) dirBlocks(in *inode, fn func(blk int64, buf []byte, ents []dirEnt) (bool, error)) error {
+	nblocks := (int64(in.Size) + BlockSize - 1) / BlockSize
+	for l := int64(0); l < nblocks; l++ {
+		blk, err := fs.blockPtr(in, l, false, true)
+		if err != nil {
+			return err
+		}
+		if blk == 0 {
+			continue
+		}
+		buf, err := fs.readMeta(blk, BTDir)
+		if err != nil {
+			return err
+		}
+		ents, err := fs.parseDir(buf)
+		if err != nil {
+			return err
+		}
+		stop, err := fn(blk, buf, ents)
+		if err != nil || stop {
+			return err
+		}
+	}
+	return nil
+}
+
+// dirLookup finds name in the directory.
+func (fs *FS) dirLookup(in *inode, name string) (uint32, byte, error) {
+	var ino uint32
+	var ftype byte
+	err := fs.dirBlocks(in, func(_ int64, _ []byte, ents []dirEnt) (bool, error) {
+		for _, e := range ents {
+			if e.Name == name {
+				ino, ftype = e.Ino, e.FType
+				return true, nil
+			}
+		}
+		return false, nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	if ino == 0 {
+		return 0, 0, vfs.ErrNotExist
+	}
+	return ino, ftype, nil
+}
+
+// dirAdd appends an entry, extending the directory by a block when full.
+func (fs *FS) dirAdd(dirIno uint32, in *inode, name string, ino uint32, ftype byte) error {
+	if len(name) > vfs.MaxNameLen {
+		return vfs.ErrNameTooLong
+	}
+	need := dirEntHdr + len(name)
+	ent := make([]byte, need)
+	binary.LittleEndian.PutUint32(ent[0:], ino)
+	ent[4] = ftype
+	ent[5] = byte(len(name))
+	copy(ent[dirEntHdr:], name)
+
+	done := false
+	err := fs.dirBlocks(in, func(blk int64, buf []byte, ents []dirEnt) (bool, error) {
+		end := 4
+		if n := len(ents); n > 0 {
+			end = ents[n-1].end
+		}
+		if end+need > BlockSize || len(ents) >= maxEntsDir {
+			return false, nil
+		}
+		var cb [4]byte
+		binary.LittleEndian.PutUint32(cb[:], uint32(len(ents)+1))
+		if err := fs.logMeta(blk, 0, cb[:], BTDir); err != nil {
+			return false, err
+		}
+		if err := fs.logMeta(blk, end, ent, BTDir); err != nil {
+			return false, err
+		}
+		done = true
+		return true, nil
+	})
+	if err != nil || done {
+		return err
+	}
+	// Append a fresh directory block.
+	l := (int64(in.Size) + BlockSize - 1) / BlockSize
+	blk, err := fs.blockPtr(in, l, true, false)
+	if err != nil {
+		return err
+	}
+	var cb [4]byte
+	binary.LittleEndian.PutUint32(cb[:], 1)
+	if err := fs.logMeta(blk, 0, cb[:], BTDir); err != nil {
+		return err
+	}
+	if err := fs.logMeta(blk, 4, ent, BTDir); err != nil {
+		return err
+	}
+	in.Size = uint64((l + 1) * BlockSize)
+	return fs.storeInode(dirIno, in)
+}
+
+// dirRemove deletes an entry, compacting the block.
+func (fs *FS) dirRemove(in *inode, name string) (uint32, error) {
+	var removed uint32
+	err := fs.dirBlocks(in, func(blk int64, buf []byte, ents []dirEnt) (bool, error) {
+		for i, e := range ents {
+			if e.Name != name {
+				continue
+			}
+			removed = e.Ino
+			// Rebuild the packed region after the removed entry and log
+			// the changed span.
+			var tail []byte
+			for _, o := range ents[i+1:] {
+				tail = append(tail, buf[o.off:o.end]...)
+			}
+			end := ents[len(ents)-1].end
+			span := make([]byte, end-e.off)
+			copy(span, tail)
+			var cb [4]byte
+			binary.LittleEndian.PutUint32(cb[:], uint32(len(ents)-1))
+			if err := fs.logMeta(blk, 0, cb[:], BTDir); err != nil {
+				return false, err
+			}
+			if err := fs.logMeta(blk, e.off, span, BTDir); err != nil {
+				return false, err
+			}
+			return true, nil
+		}
+		return false, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if removed == 0 {
+		return 0, vfs.ErrNotExist
+	}
+	return removed, nil
+}
+
+// dirEmpty reports whether the directory has no entries.
+func (fs *FS) dirEmpty(in *inode) (bool, error) {
+	empty := true
+	err := fs.dirBlocks(in, func(_ int64, _ []byte, ents []dirEnt) (bool, error) {
+		if len(ents) > 0 {
+			empty = false
+			return true, nil
+		}
+		return false, nil
+	})
+	return empty, err
+}
+
+// ---------------------------------------------------------------------------
+// Path resolution.
+// ---------------------------------------------------------------------------
+
+const maxSymlinkDepth = 8
+
+func (fs *FS) resolve(path string, follow bool) (uint32, *inode, error) {
+	parts, err := vfs.SplitPath(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	return fs.walk(parts, follow, 0)
+}
+
+func (fs *FS) walk(parts []string, follow bool, depth int) (uint32, *inode, error) {
+	if depth > maxSymlinkDepth {
+		return 0, nil, vfs.ErrInval
+	}
+	ino := RootIno
+	in, err := fs.loadInode(ino)
+	if err != nil {
+		return 0, nil, err
+	}
+	for i, name := range parts {
+		if !in.isDir() {
+			return 0, nil, vfs.ErrNotDir
+		}
+		child, _, err := fs.dirLookup(in, name)
+		if err != nil {
+			return 0, nil, err
+		}
+		cin, err := fs.loadInode(child)
+		if err != nil {
+			return 0, nil, err
+		}
+		if !cin.allocated() {
+			return 0, nil, vfs.ErrNotExist
+		}
+		last := i == len(parts)-1
+		if cin.isSymlink() && (!last || follow) {
+			target, err := fs.readSymlink(cin)
+			if err != nil {
+				return 0, nil, err
+			}
+			tparts, err := vfs.SplitPath(target)
+			if err != nil {
+				return 0, nil, err
+			}
+			rest := append(append([]string{}, tparts...), parts[i+1:]...)
+			return fs.walk(rest, follow, depth+1)
+		}
+		ino, in = child, cin
+	}
+	return ino, in, nil
+}
+
+func (fs *FS) resolveParent(path string) (uint32, *inode, string, error) {
+	dirParts, name, err := vfs.SplitDir(path)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	ino, in, err := fs.walk(dirParts, true, 0)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	if !in.isDir() {
+		return 0, nil, "", vfs.ErrNotDir
+	}
+	return ino, in, name, nil
+}
+
+func (fs *FS) readSymlink(in *inode) (string, error) {
+	if in.Size == 0 || in.Size > BlockSize {
+		return "", vfs.ErrCorrupt
+	}
+	blk, err := fs.blockPtr(in, 0, false, true)
+	if err != nil {
+		return "", err
+	}
+	if blk == 0 {
+		return "", vfs.ErrCorrupt
+	}
+	buf, err := fs.readData(blk)
+	if err != nil {
+		return "", err
+	}
+	return string(buf[:in.Size]), nil
+}
+
+// createNode is the shared creation path.
+func (fs *FS) createNode(path string, mode uint16, ftype uint16) (uint32, *inode, error) {
+	pIno, pIn, name, err := fs.resolveParent(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	if _, _, err := fs.dirLookup(pIn, name); err == nil {
+		return 0, nil, vfs.ErrExist
+	} else if !errors.Is(err, vfs.ErrNotExist) {
+		return 0, nil, err
+	}
+	ino, err := fs.allocInode()
+	if err != nil {
+		return 0, nil, err
+	}
+	now := fs.now()
+	in := &inode{Mode: ftype | (mode & modePermMsk), Links: 1, Atime: now, Mtime: now, Ctime: now}
+	var vt vfs.FileType
+	switch ftype {
+	case modeDir:
+		vt = vfs.TypeDirectory
+	case modeSymlink:
+		vt = vfs.TypeSymlink
+	default:
+		vt = vfs.TypeRegular
+	}
+	if err := fs.dirAdd(pIno, pIn, name, ino, byte(vt)); err != nil {
+		return 0, nil, err
+	}
+	pIn.Mtime = now
+	if err := fs.storeInode(pIno, pIn); err != nil {
+		return 0, nil, err
+	}
+	if err := fs.storeInode(ino, in); err != nil {
+		return 0, nil, err
+	}
+	return ino, in, nil
+}

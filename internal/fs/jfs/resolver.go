@@ -1,0 +1,133 @@
+package jfs
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"ironfs/internal/disk"
+	"ironfs/internal/iron"
+)
+
+// Resolver is the gray-box block-type resolver for JFS images.
+type Resolver struct {
+	raw *disk.Disk
+
+	mu    sync.Mutex
+	gen   int64
+	valid bool
+	sb    superblock
+	dyn   map[int64]iron.BlockType
+}
+
+// NewResolver returns a resolver bound to the raw disk beneath the file
+// system under test.
+func NewResolver(raw *disk.Disk) *Resolver {
+	return &Resolver{raw: raw, gen: -1}
+}
+
+// Classify implements faultinject.TypeResolver.
+func (r *Resolver) Classify(block int64) iron.BlockType {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g := r.raw.WriteGeneration(); g != r.gen || !r.valid {
+		r.rebuild()
+		r.gen = g
+	}
+	if !r.valid {
+		if block == sbPrimary || block == sbSecondary {
+			return BTSuper
+		}
+		return iron.Unclassified
+	}
+	return r.classifyLocked(block)
+}
+
+func (r *Resolver) readRaw(blk int64) ([]byte, bool) {
+	buf := make([]byte, BlockSize)
+	if err := r.raw.ReadRaw(blk, buf); err != nil {
+		return nil, false
+	}
+	return buf, true
+}
+
+func (r *Resolver) rebuild() {
+	r.valid = false
+	buf, ok := r.readRaw(sbPrimary)
+	if !ok {
+		return
+	}
+	r.sb.unmarshal(buf)
+	if r.sb.sane(r.raw.NumBlocks()) != nil {
+		return
+	}
+	r.dyn = map[int64]iron.BlockType{}
+	// Walk every allocated inode, classifying dir/data/internal blocks.
+	for t := int64(0); t < int64(r.sb.ITabLen); t++ {
+		it, ok := r.readRaw(int64(r.sb.ITabStart) + t)
+		if !ok {
+			continue
+		}
+		for s := 0; s < InodesPB; s++ {
+			var in inode
+			in.unmarshal(it[s*InodeSize : (s+1)*InodeSize])
+			if !in.allocated() {
+				continue
+			}
+			leaf := BTData
+			if in.isDir() {
+				leaf = BTDir
+			}
+			for _, p := range in.Direct {
+				if p != 0 && int64(p) < int64(r.sb.BlockCount) {
+					r.dyn[int64(p)] = leaf
+				}
+			}
+			for _, ip := range in.Intern {
+				if ip == 0 || int64(ip) >= int64(r.sb.BlockCount) {
+					continue
+				}
+				r.dyn[int64(ip)] = BTInternal
+				ibuf, ok := r.readRaw(int64(ip))
+				if !ok {
+					continue
+				}
+				for i := 0; i < ptrsPerInt; i++ {
+					p := int64(binary.LittleEndian.Uint64(ibuf[8+i*8:]))
+					if p > 0 && p < int64(r.sb.BlockCount) {
+						r.dyn[p] = leaf
+					}
+				}
+			}
+		}
+	}
+	r.valid = true
+}
+
+func (r *Resolver) classifyLocked(blk int64) iron.BlockType {
+	sb := &r.sb
+	switch {
+	case blk == sbPrimary || blk == sbSecondary:
+		return BTSuper
+	case blk == aggrPrimary || blk == aggrSecondary:
+		return BTAggr
+	case blk == bmapDescBlk:
+		return BTBMapDesc
+	case blk >= int64(sb.BMapStart) && blk < int64(sb.BMapStart+sb.BMapLen):
+		return BTBMap
+	case blk == int64(sb.IMapCtl):
+		return BTIMapCtl
+	case blk >= int64(sb.IMapStart) && blk < int64(sb.IMapStart+sb.IMapLen):
+		return BTIMap
+	case blk >= int64(sb.ITabStart) && blk < int64(sb.ITabStart+sb.ITabLen):
+		return BTInode
+	case blk >= int64(sb.LogStart) && blk < int64(sb.LogStart+sb.LogLen):
+		if blk == int64(sb.LogStart) {
+			return BTJSuper
+		}
+		return BTJData
+	}
+	if bt, ok := r.dyn[blk]; ok {
+		return bt
+	}
+	return iron.Unclassified
+}

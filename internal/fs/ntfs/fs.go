@@ -1,0 +1,508 @@
+package ntfs
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"ironfs/internal/bcache"
+	"ironfs/internal/disk"
+	"ironfs/internal/iron"
+	"ironfs/internal/vfs"
+)
+
+// FS is an NTFS instance bound to a block device.
+type FS struct {
+	dev disk.Device
+	rec *iron.Recorder
+
+	mu      sync.Mutex
+	health  vfs.Health
+	boot    boot
+	cache   *bcache.Cache
+	tx      *txn
+	mounted bool
+	seq     uint64
+	jhead   int64
+	timeCtr int64
+}
+
+var _ vfs.FileSystem = (*FS)(nil)
+
+// New binds an NTFS instance to a formatted device. Mount before use.
+func New(dev disk.Device, rec *iron.Recorder) *FS {
+	return &FS{dev: dev, rec: rec, cache: bcache.New(2048)}
+}
+
+// Health returns the current RStop state.
+func (fs *FS) Health() vfs.HealthState { return fs.health.State() }
+
+func (fs *FS) now() int64 {
+	fs.timeCtr++
+	return fs.timeCtr
+}
+
+// unmountable is NTFS's reaction to corrupt metadata: the volume goes
+// read-only and stays that way (§5.4: "the file system becomes
+// unmountable if any of its metadata blocks (except the journal) are
+// corrupted").
+func (fs *FS) unmountable(bt iron.BlockType, why string) {
+	if fs.health.State() == vfs.Healthy {
+		fs.rec.Recover(iron.RStop, bt, "volume marked unusable: "+why)
+	}
+	fs.health.Degrade(vfs.ReadOnly)
+}
+
+// readBlockRetry reads a block with NTFS's famous persistence: up to seven
+// retries before giving up (§5.4).
+func (fs *FS) readBlockRetry(blk int64, bt iron.BlockType) ([]byte, error) {
+	if data := fs.cache.Get(blk); data != nil {
+		return data, nil
+	}
+	buf := make([]byte, BlockSize)
+	err := fs.dev.ReadBlock(blk, buf)
+	if err != nil {
+		fs.rec.Detect(iron.DErrorCode, bt, "read failed")
+		for i := 0; i < readRetries && err != nil; i++ {
+			fs.rec.Recover(iron.RRetry, bt, "read retry")
+			err = fs.dev.ReadBlock(blk, buf)
+		}
+	}
+	if err != nil {
+		fs.rec.Recover(iron.RPropagate, bt, "read error propagated")
+		return nil, vfs.ErrIO
+	}
+	fs.cache.Put(blk, buf, false)
+	return buf, nil
+}
+
+// writeRetry writes a block, retrying per NTFS's per-type budgets. For
+// data blocks the exhausted error is recorded but not used — the §5.4
+// DZero finding; for metadata it propagates and the volume degrades.
+func (fs *FS) writeRetry(blk int64, data []byte, bt iron.BlockType) error {
+	retries := mftWriteRetries
+	if bt == BTData {
+		retries = dataWriteRetry
+	}
+	err := fs.dev.WriteBlock(blk, data)
+	if err != nil {
+		fs.rec.Detect(iron.DErrorCode, bt, "write failed")
+		for i := 0; i < retries && err != nil; i++ {
+			fs.rec.Recover(iron.RRetry, bt, "write retry")
+			err = fs.dev.WriteBlock(blk, data)
+		}
+	}
+	if err == nil {
+		return nil
+	}
+	if bt == BTData {
+		// Recorded but never consulted: the write is lost silently.
+		return nil
+	}
+	fs.rec.Recover(iron.RPropagate, bt, "write error propagated")
+	fs.unmountable(bt, "metadata write failure")
+	return vfs.ErrIO
+}
+
+// ---------------------------------------------------------------------------
+// Logfile: whole-block redo transactions, checkpointed immediately.
+// ---------------------------------------------------------------------------
+
+type txn struct {
+	metaOrder []int64
+	meta      map[int64][]byte
+	metaType  map[int64]iron.BlockType
+	dataOrder []int64
+	data      map[int64][]byte
+}
+
+func newTxn() *txn {
+	return &txn{meta: map[int64][]byte{}, metaType: map[int64]iron.BlockType{}, data: map[int64][]byte{}}
+}
+
+func (t *txn) empty() bool { return len(t.metaOrder) == 0 && len(t.dataOrder) == 0 }
+
+func (fs *FS) stageMeta(blk int64, data []byte, bt iron.BlockType) {
+	fs.cache.Put(blk, data, true)
+	if _, ok := fs.tx.meta[blk]; !ok {
+		fs.tx.metaOrder = append(fs.tx.metaOrder, blk)
+	}
+	fs.tx.meta[blk] = data
+	fs.tx.metaType[blk] = bt
+}
+
+func (fs *FS) stageData(blk int64, data []byte) {
+	fs.cache.Put(blk, data, true)
+	if _, ok := fs.tx.data[blk]; !ok {
+		fs.tx.dataOrder = append(fs.tx.dataOrder, blk)
+	}
+	fs.tx.data[blk] = data
+}
+
+func (fs *FS) dropBlock(blk int64) {
+	if _, ok := fs.tx.meta[blk]; ok {
+		delete(fs.tx.meta, blk)
+		delete(fs.tx.metaType, blk)
+		fs.tx.metaOrder = removeBlk(fs.tx.metaOrder, blk)
+	}
+	if _, ok := fs.tx.data[blk]; ok {
+		delete(fs.tx.data, blk)
+		fs.tx.dataOrder = removeBlk(fs.tx.dataOrder, blk)
+	}
+	fs.cache.Drop(blk)
+}
+
+func removeBlk(s []int64, blk int64) []int64 {
+	for i, b := range s {
+		if b == blk {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+const maxTxnMeta = 48
+
+func (fs *FS) maybeCommit() error {
+	if len(fs.tx.metaOrder) >= maxTxnMeta {
+		return fs.commitLocked()
+	}
+	return nil
+}
+
+// commitLocked writes ordered data, the logfile transaction, then
+// checkpoints home locations.
+func (fs *FS) commitLocked() error {
+	t := fs.tx
+	if t.empty() {
+		return nil
+	}
+	if err := fs.health.CheckWrite(); err != nil {
+		return err
+	}
+	seq := fs.seq + 1
+	base := int64(fs.boot.LogStart)
+	le := binary.LittleEndian
+
+	if len(t.dataOrder) > 0 {
+		for _, blk := range t.dataOrder {
+			if err := fs.writeRetry(blk, t.data[blk], BTData); err != nil {
+				return err
+			}
+		}
+		if err := fs.dev.Barrier(); err != nil {
+			return vfs.ErrIO
+		}
+	}
+
+	need := int64(len(t.metaOrder) + 2)
+	if fs.jhead == 0 {
+		fs.jhead = 1
+	}
+	if fs.jhead+need > int64(fs.boot.LogLen) {
+		fs.jhead = 1
+		if err := fs.writeRestart(seq, 1); err != nil {
+			return err
+		}
+		if err := fs.dev.Barrier(); err != nil {
+			return vfs.ErrIO
+		}
+	}
+	rel := fs.jhead
+
+	desc := make([]byte, BlockSize)
+	le.PutUint32(desc[0:], logDesc)
+	le.PutUint32(desc[4:], uint32(len(t.metaOrder)))
+	le.PutUint64(desc[8:], seq)
+	for i, blk := range t.metaOrder {
+		le.PutUint64(desc[16+8*i:], uint64(blk))
+	}
+	if err := fs.writeRetry(base+rel, desc, BTLogfile); err != nil {
+		return err
+	}
+	rel++
+	for _, blk := range t.metaOrder {
+		cp := make([]byte, BlockSize)
+		copy(cp, t.meta[blk])
+		if err := fs.writeRetry(base+rel, cp, BTLogfile); err != nil {
+			return err
+		}
+		rel++
+	}
+	if err := fs.dev.Barrier(); err != nil {
+		return vfs.ErrIO
+	}
+	commit := make([]byte, BlockSize)
+	le.PutUint32(commit[0:], logCommit)
+	le.PutUint64(commit[8:], seq)
+	if err := fs.writeRetry(base+rel, commit, BTLogfile); err != nil {
+		return err
+	}
+	rel++
+	if err := fs.dev.Barrier(); err != nil {
+		return vfs.ErrIO
+	}
+
+	for _, blk := range t.metaOrder {
+		if err := fs.writeRetry(blk, t.meta[blk], t.metaType[blk]); err != nil {
+			return err
+		}
+	}
+	if err := fs.dev.Barrier(); err != nil {
+		return vfs.ErrIO
+	}
+	if err := fs.writeRestart(seq+1, rel); err != nil {
+		return err
+	}
+
+	for _, blk := range t.metaOrder {
+		fs.cache.MarkClean(blk)
+	}
+	for _, blk := range t.dataOrder {
+		fs.cache.MarkClean(blk)
+	}
+	fs.seq = seq
+	fs.jhead = rel
+	fs.tx = newTxn()
+	return nil
+}
+
+// writeRestart updates the logfile restart area.
+func (fs *FS) writeRestart(nextSeq uint64, startRel int64) error {
+	buf := make([]byte, BlockSize)
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], logMagic)
+	le.PutUint64(buf[8:], uint64(startRel))
+	le.PutUint64(buf[16:], nextSeq)
+	return fs.writeRetry(int64(fs.boot.LogStart), buf, BTLogfile)
+}
+
+// loadRestart reads the restart area, sanity-checking its magic.
+func (fs *FS) loadRestart() (startRel int64, nextSeq uint64, err error) {
+	buf, rerr := fs.readBlockRetry(int64(fs.boot.LogStart), BTLogfile)
+	if rerr != nil {
+		return 0, 0, rerr
+	}
+	le := binary.LittleEndian
+	if le.Uint32(buf[0:]) != logMagic {
+		fs.rec.Detect(iron.DSanity, BTLogfile, "restart area bad magic")
+		fs.rec.Recover(iron.RPropagate, BTLogfile, "mount fails")
+		fs.rec.Recover(iron.RStop, BTLogfile, "mount aborted")
+		return 0, 0, vfs.ErrCorrupt
+	}
+	startRel = int64(le.Uint64(buf[8:]))
+	nextSeq = le.Uint64(buf[16:])
+	if startRel == 0 {
+		startRel = 1
+	}
+	return startRel, nextSeq, nil
+}
+
+// replayLog applies committed logfile transactions after a crash.
+func (fs *FS) replayLog() error {
+	startRel, nextSeq, err := fs.loadRestart()
+	if err != nil {
+		return err
+	}
+	base := int64(fs.boot.LogStart)
+	le := binary.LittleEndian
+	rel := startRel
+	seq := nextSeq
+
+	for rel < int64(fs.boot.LogLen) {
+		hdr, rerr := fs.readBlockRetry(base+rel, BTLogfile)
+		if rerr != nil {
+			fs.rec.Recover(iron.RStop, BTLogfile, "recovery aborted")
+			return rerr
+		}
+		if le.Uint32(hdr[0:]) != logDesc || le.Uint64(hdr[8:]) != seq {
+			break
+		}
+		n := int(le.Uint32(hdr[4:]))
+		if n < 0 || 16+8*n > BlockSize || rel+int64(n)+1 >= int64(fs.boot.LogLen) {
+			fs.rec.Detect(iron.DSanity, BTLogfile, "descriptor count out of range")
+			break
+		}
+		homes := make([]int64, n)
+		payload := make([][]byte, n)
+		for i := 0; i < n; i++ {
+			homes[i] = int64(le.Uint64(hdr[16+8*i:]))
+			pb, perr := fs.readBlockRetry(base+rel+1+int64(i), BTLogfile)
+			if perr != nil {
+				fs.rec.Recover(iron.RStop, BTLogfile, "recovery aborted")
+				return perr
+			}
+			payload[i] = pb
+		}
+		cb, cerr := fs.readBlockRetry(base+rel+1+int64(n), BTLogfile)
+		if cerr != nil {
+			fs.rec.Recover(iron.RStop, BTLogfile, "recovery aborted")
+			return cerr
+		}
+		if le.Uint32(cb[0:]) != logCommit || le.Uint64(cb[8:]) != seq {
+			break // torn transaction: discarded
+		}
+		for i := 0; i < n; i++ {
+			if homes[i] < 0 || homes[i] >= fs.dev.NumBlocks() {
+				continue
+			}
+			if werr := fs.writeRetry(homes[i], payload[i], BTMFT); werr != nil {
+				return werr
+			}
+		}
+		rel += int64(n) + 2
+		seq++
+	}
+	if err := fs.dev.Barrier(); err != nil {
+		return vfs.ErrIO
+	}
+	if err := fs.writeRestart(seq, 1); err != nil {
+		return err
+	}
+	fs.seq = seq - 1
+	fs.jhead = 1
+	fs.cache.Reset()
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Mount / unmount / statfs.
+// ---------------------------------------------------------------------------
+
+// Mount reads and checks the boot file, then runs logfile recovery if the
+// volume is dirty.
+func (fs *FS) Mount() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.mounted {
+		return nil
+	}
+	fs.health.Reset()
+	fs.cache.Reset()
+
+	buf := make([]byte, BlockSize)
+	err := fs.dev.ReadBlock(0, buf)
+	if err != nil {
+		fs.rec.Detect(iron.DErrorCode, BTBoot, "boot file read failed")
+		for i := 0; i < readRetries && err != nil; i++ {
+			fs.rec.Recover(iron.RRetry, BTBoot, "read retry")
+			err = fs.dev.ReadBlock(0, buf)
+		}
+	}
+	if err != nil {
+		fs.rec.Recover(iron.RPropagate, BTBoot, "mount fails")
+		fs.rec.Recover(iron.RStop, BTBoot, "mount aborted")
+		return vfs.ErrIO
+	}
+	fs.boot.unmarshal(buf)
+	if serr := fs.boot.sane(fs.dev.NumBlocks()); serr != nil {
+		fs.rec.Detect(iron.DSanity, BTBoot, serr.Error())
+		fs.rec.Recover(iron.RPropagate, BTBoot, "volume unmountable: "+serr.Error())
+		fs.rec.Recover(iron.RStop, BTBoot, "mount aborted")
+		return vfs.ErrCorrupt
+	}
+
+	if fs.boot.Clean == 0 {
+		if err := fs.replayLog(); err != nil {
+			return err
+		}
+	} else {
+		startRel, nextSeq, lerr := fs.loadRestart()
+		if lerr != nil {
+			return lerr
+		}
+		fs.jhead = startRel
+		if nextSeq > 0 {
+			fs.seq = nextSeq - 1
+		}
+	}
+
+	fs.tx = newTxn()
+	fs.boot.Clean = 0
+	bbuf := make([]byte, BlockSize)
+	fs.boot.marshal(bbuf)
+	if err := fs.writeRetry(0, bbuf, BTBoot); err != nil {
+		return err
+	}
+	fs.mounted = true
+	return nil
+}
+
+// Unmount commits and writes a clean boot file.
+func (fs *FS) Unmount() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.mounted {
+		return vfs.ErrNotMounted
+	}
+	if fs.health.State() == vfs.Healthy {
+		if err := fs.commitLocked(); err != nil {
+			return err
+		}
+		fs.boot.Clean = 1
+		bbuf := make([]byte, BlockSize)
+		fs.boot.marshal(bbuf)
+		if err := fs.writeRetry(0, bbuf, BTBoot); err != nil {
+			return err
+		}
+	}
+	fs.mounted = false
+	fs.cache.Reset()
+	return fs.dev.Barrier()
+}
+
+// Sync commits the running transaction.
+func (fs *FS) Sync() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.mounted {
+		return vfs.ErrNotMounted
+	}
+	if err := fs.health.CheckWrite(); err != nil {
+		return err
+	}
+	return fs.commitLocked()
+}
+
+// Statfs implements vfs.FileSystem.
+func (fs *FS) Statfs() (vfs.StatFS, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.mounted {
+		return vfs.StatFS{}, vfs.ErrNotMounted
+	}
+	if err := fs.health.CheckRead(); err != nil {
+		return vfs.StatFS{}, err
+	}
+	free, _ := fs.countFreeBlocks()
+	recs := int64(fs.boot.MFTLen) * RecsPB
+	freeRecs, _ := fs.countFreeRecords()
+	return vfs.StatFS{
+		BlockSize:   BlockSize,
+		TotalBlocks: int64(fs.boot.BlockCount),
+		FreeBlocks:  free,
+		TotalInodes: recs,
+		FreeInodes:  freeRecs,
+	}, nil
+}
+
+func (fs *FS) guardWrite() error {
+	if !fs.mounted {
+		return vfs.ErrNotMounted
+	}
+	return fs.health.CheckWrite()
+}
+
+func (fs *FS) guardRead() error {
+	if !fs.mounted {
+		return vfs.ErrNotMounted
+	}
+	return fs.health.CheckRead()
+}
+
+// DropCaches empties the buffer cache, modeling a cold-cache restart for
+// experiments. Callers should Sync first.
+func (fs *FS) DropCaches() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.cache.Reset()
+}

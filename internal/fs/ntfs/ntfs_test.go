@@ -1,0 +1,174 @@
+package ntfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"ironfs/internal/disk"
+	"ironfs/internal/iron"
+	"ironfs/internal/vfs"
+)
+
+func newTestFS(t *testing.T) (*FS, *disk.Disk) {
+	t.Helper()
+	d, err := disk.New(8192, disk.DefaultGeometry(), nil)
+	if err != nil {
+		t.Fatalf("disk.New: %v", err)
+	}
+	if err := Mkfs(d); err != nil {
+		t.Fatalf("Mkfs: %v", err)
+	}
+	fs := New(d, iron.NewRecorder())
+	if err := fs.Mount(); err != nil {
+		t.Fatalf("Mount: %v", err)
+	}
+	return fs, d
+}
+
+func TestMkfsMount(t *testing.T) {
+	fs, _ := newTestFS(t)
+	st, err := fs.Statfs()
+	if err != nil || st.TotalBlocks != 8192 || st.FreeBlocks <= 0 {
+		t.Fatalf("Statfs = %+v, %v", st, err)
+	}
+	if err := fs.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilesAndDirs(t *testing.T) {
+	fs, d := newTestFS(t)
+	if err := fs.Mkdir("/docs", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("NTFS"), 20000) // 80 KB: direct + ext runs
+	if err := fs.Create("/docs/big", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Write("/docs/big", 0, data); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	for i := 0; i < 30; i++ {
+		p := fmt.Sprintf("/docs/f%02d", i)
+		if err := fs.Create(p, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := fs.ReadDir("/docs")
+	if err != nil || len(ents) != 31 {
+		t.Fatalf("ReadDir = %d, %v", len(ents), err)
+	}
+	if err := fs.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	fs2 := New(d, nil)
+	if err := fs2.Mount(); err != nil {
+		t.Fatalf("remount: %v", err)
+	}
+	got := make([]byte, len(data))
+	if n, err := fs2.Read("/docs/big", 0, got); err != nil || n != len(data) {
+		t.Fatalf("Read = %d, %v", n, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("content mismatch after remount")
+	}
+}
+
+func TestLogReplay(t *testing.T) {
+	fs, d := newTestFS(t)
+	if err := fs.Create("/x", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Write("/x", 0, []byte("journal me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs2 := New(d, nil)
+	if err := fs2.Mount(); err != nil {
+		t.Fatalf("dirty mount: %v", err)
+	}
+	buf := make([]byte, 10)
+	if _, err := fs2.Read("/x", 0, buf); err != nil || string(buf) != "journal me" {
+		t.Fatalf("after replay: %q, %v", buf, err)
+	}
+}
+
+func TestAggressiveReadRetry(t *testing.T) {
+	// NTFS retries reads up to 7 times; a fault transient for 3 attempts
+	// must be survived (and retries recorded).
+	d, _ := disk.New(8192, disk.DefaultGeometry(), nil)
+	if err := Mkfs(d); err != nil {
+		t.Fatal(err)
+	}
+	rec := iron.NewRecorder()
+	fs := New(d, rec)
+	flaky := &flakyReads{Device: d}
+	fs.dev = flaky
+	if err := fs.Mount(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/r", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Write("/r", 0, bytes.Repeat([]byte("z"), 8192)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs.cache.Reset() // force re-reads from the device
+	flaky.failNext = 3
+	buf := make([]byte, 8192)
+	if _, err := fs.Read("/r", 0, buf); err != nil {
+		t.Fatalf("Read despite transient fault: %v", err)
+	}
+	if !rec.Recoveries().Has(iron.RRetry) {
+		t.Errorf("RRetry not recorded:\n%s", rec.Summary())
+	}
+	if fs.Health() != vfs.Healthy {
+		t.Errorf("health degraded by a transient fault: %v", fs.Health())
+	}
+}
+
+func TestCorruptMFTRecordStopsVolume(t *testing.T) {
+	fs, d := newTestFS(t)
+	if err := fs.Create("/victim", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the root's MFT block on disk and drop the cache.
+	blk, _, _ := fs.recordLoc(RootRec)
+	garbage := make([]byte, BlockSize)
+	for i := range garbage {
+		garbage[i] = 0xA5
+	}
+	if err := d.WriteBlock(blk, garbage); err != nil {
+		t.Fatal(err)
+	}
+	fs.cache.Reset()
+	if err := fs.Open("/victim"); !errors.Is(err, vfs.ErrCorrupt) {
+		t.Fatalf("Open over corrupt MFT = %v, want ErrCorrupt", err)
+	}
+	if fs.Health() == vfs.Healthy {
+		t.Error("volume still healthy after metadata corruption")
+	}
+}
+
+type flakyReads struct {
+	disk.Device
+	failNext int
+}
+
+func (f *flakyReads) ReadBlock(blk int64, buf []byte) error {
+	if f.failNext > 0 {
+		f.failNext--
+		return disk.ErrIO
+	}
+	return f.Device.ReadBlock(blk, buf)
+}

@@ -1,0 +1,124 @@
+package ntfs
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"ironfs/internal/disk"
+	"ironfs/internal/iron"
+)
+
+// Resolver is the gray-box block-type resolver for NTFS volumes. The
+// paper's NTFS analysis is partial (closed-source structures); so is this
+// resolver's fidelity — it classifies the Table 4 types the paper lists.
+type Resolver struct {
+	raw *disk.Disk
+
+	mu    sync.Mutex
+	gen   int64
+	valid bool
+	boot  boot
+	dyn   map[int64]iron.BlockType
+}
+
+// NewResolver returns a resolver bound to the raw disk beneath the volume.
+func NewResolver(raw *disk.Disk) *Resolver {
+	return &Resolver{raw: raw, gen: -1}
+}
+
+// Classify implements faultinject.TypeResolver.
+func (r *Resolver) Classify(block int64) iron.BlockType {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g := r.raw.WriteGeneration(); g != r.gen || !r.valid {
+		r.rebuild()
+		r.gen = g
+	}
+	if !r.valid {
+		if block == 0 {
+			return BTBoot
+		}
+		return iron.Unclassified
+	}
+	return r.classifyLocked(block)
+}
+
+func (r *Resolver) readRaw(blk int64) ([]byte, bool) {
+	buf := make([]byte, BlockSize)
+	if err := r.raw.ReadRaw(blk, buf); err != nil {
+		return nil, false
+	}
+	return buf, true
+}
+
+func (r *Resolver) rebuild() {
+	r.valid = false
+	buf, ok := r.readRaw(0)
+	if !ok {
+		return
+	}
+	r.boot.unmarshal(buf)
+	if r.boot.sane(r.raw.NumBlocks()) != nil {
+		return
+	}
+	r.dyn = map[int64]iron.BlockType{}
+	for t := int64(0); t < int64(r.boot.MFTLen); t++ {
+		mb, ok := r.readRaw(int64(r.boot.MFTStart) + t)
+		if !ok {
+			continue
+		}
+		for s := 0; s < RecsPB; s++ {
+			var rec mftRecord
+			rec.unmarshal(mb[s*RecordSize : (s+1)*RecordSize])
+			if !rec.inUse() || rec.Magic != recMagic {
+				continue
+			}
+			leaf := BTData
+			if rec.isDir() {
+				leaf = BTDir
+			}
+			for _, p := range rec.Direct {
+				if p != 0 && p < r.boot.BlockCount {
+					r.dyn[int64(p)] = leaf
+				}
+			}
+			for _, e := range rec.Ext {
+				if e == 0 || e >= r.boot.BlockCount {
+					continue
+				}
+				r.dyn[int64(e)] = BTMFT // run-extension: MFT metadata
+				eb, ok := r.readRaw(int64(e))
+				if !ok {
+					continue
+				}
+				for i := 0; i < ptrsPerExt; i++ {
+					p := binary.LittleEndian.Uint64(eb[i*8:])
+					if p != 0 && p < r.boot.BlockCount {
+						r.dyn[int64(p)] = leaf
+					}
+				}
+			}
+		}
+	}
+	r.valid = true
+}
+
+func (r *Resolver) classifyLocked(blk int64) iron.BlockType {
+	b := &r.boot
+	switch {
+	case blk == 0:
+		return BTBoot
+	case blk >= int64(b.MFTStart) && blk < int64(b.MFTStart+b.MFTLen):
+		return BTMFT
+	case blk == int64(b.MFTBmp):
+		return BTMFTBmp
+	case blk >= int64(b.VolBmpStart) && blk < int64(b.VolBmpStart+b.VolBmpLen):
+		return BTVolBmp
+	case blk >= int64(b.LogStart) && blk < int64(b.LogStart+b.LogLen):
+		return BTLogfile
+	}
+	if bt, ok := r.dyn[blk]; ok {
+		return bt
+	}
+	return iron.Unclassified
+}

@@ -1,0 +1,86 @@
+package reiser
+
+import (
+	"fmt"
+	"testing"
+
+	"ironfs/internal/disk"
+)
+
+func BenchmarkTreeInsert(b *testing.B) {
+	d, _ := disk.New(16384, disk.DefaultGeometry(), nil)
+	if err := Mkfs(d); err != nil {
+		b.Fatal(err)
+	}
+	fs := New(d, nil)
+	if err := fs.Mount(); err != nil {
+		b.Fatal(err)
+	}
+	body := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := key{DirID: 2, ObjID: uint32(100 + i%100000), Offset: 0, Type: itemStat}
+		if err := fs.insertItem(item{K: k, Body: body}); err != nil {
+			b.Fatal(err)
+		}
+		if err := fs.deleteItem(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreeLookup(b *testing.B) {
+	d, _ := disk.New(16384, disk.DefaultGeometry(), nil)
+	if err := Mkfs(d); err != nil {
+		b.Fatal(err)
+	}
+	fs := New(d, nil)
+	if err := fs.Mount(); err != nil {
+		b.Fatal(err)
+	}
+	body := make([]byte, 64)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		k := key{DirID: 2, ObjID: uint32(100 + i), Offset: 0, Type: itemStat}
+		if err := fs.insertItem(item{K: k, Body: body}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := key{DirID: 2, ObjID: uint32(100 + i%n), Offset: 0, Type: itemStat}
+		if _, err := fs.findItem(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCreateTailFile(b *testing.B) {
+	d, _ := disk.New(16384, disk.DefaultGeometry(), nil)
+	if err := Mkfs(d); err != nil {
+		b.Fatal(err)
+	}
+	fs := New(d, nil)
+	if err := fs.Mount(); err != nil {
+		b.Fatal(err)
+	}
+	payload := []byte("tail file body")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Create+write+unlink per iteration keeps the tree bounded for
+		// arbitrary b.N.
+		p := fmt.Sprintf("/t%07d", i)
+		if err := fs.Create(p, 0o644); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fs.Write(p, 0, payload); err != nil {
+			b.Fatal(err)
+		}
+		if err := fs.Unlink(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,366 @@
+package reiser
+
+import (
+	"encoding/binary"
+
+	"ironfs/internal/disk"
+	"ironfs/internal/iron"
+	"ironfs/internal/vfs"
+)
+
+// ReiserFS journaling: a journal header block fronts a ring of
+// [descriptor][journaled copies][commit] transactions. Metadata (tree
+// nodes, bitmaps, superblock) is journaled; unformatted data is written in
+// place before the commit (ordered). Checkpointing is immediate after
+// commit, which keeps the ring trivially reusable.
+//
+// Policy fidelity (§5.2): the descriptor and commit blocks carry magic
+// numbers and sequence fields that replay sanity-checks (DSanity) — but
+// there is *no* check whatsoever on the journaled payload, so replaying a
+// corrupted journal data block destroys whatever home location its
+// descriptor names ("e.g., the block is written as the super block").
+
+// jheader is the journal header (first block of the journal region).
+type jheader struct {
+	Magic    uint32
+	StartRel uint64
+	StartSeq uint64
+}
+
+func (j *jheader) marshal(b []byte) {
+	le := binary.LittleEndian
+	le.PutUint32(b[0:], j.Magic)
+	le.PutUint64(b[8:], j.StartRel)
+	le.PutUint64(b[16:], j.StartSeq)
+}
+
+func (j *jheader) unmarshal(b []byte) {
+	le := binary.LittleEndian
+	j.Magic = le.Uint32(b[0:])
+	j.StartRel = le.Uint64(b[8:])
+	j.StartSeq = le.Uint64(b[16:])
+}
+
+// txn is the running transaction: metadata block images plus ordered data.
+type txn struct {
+	metaOrder []int64
+	meta      map[int64][]byte
+	metaType  map[int64]iron.BlockType
+	dataOrder []int64
+	data      map[int64][]byte
+}
+
+func newTxn() *txn {
+	return &txn{
+		meta:     map[int64][]byte{},
+		metaType: map[int64]iron.BlockType{},
+		data:     map[int64][]byte{},
+	}
+}
+
+func (t *txn) empty() bool { return len(t.metaOrder) == 0 && len(t.dataOrder) == 0 }
+
+// putMeta stages a full metadata block image for journaling.
+func (t *txn) putMeta(blk int64, data []byte, bt iron.BlockType) {
+	if _, ok := t.meta[blk]; !ok {
+		t.metaOrder = append(t.metaOrder, blk)
+	}
+	t.meta[blk] = data
+	t.metaType[blk] = bt
+}
+
+// putData stages an ordered data block image.
+func (t *txn) putData(blk int64, data []byte) {
+	if _, ok := t.data[blk]; !ok {
+		t.dataOrder = append(t.dataOrder, blk)
+	}
+	t.data[blk] = data
+}
+
+// drop removes a staged block (used when the block is freed in the same
+// transaction).
+func (t *txn) drop(blk int64) {
+	if _, ok := t.meta[blk]; ok {
+		delete(t.meta, blk)
+		delete(t.metaType, blk)
+		t.metaOrder = removeBlk(t.metaOrder, blk)
+	}
+	if _, ok := t.data[blk]; ok {
+		delete(t.data, blk)
+		t.dataOrder = removeBlk(t.dataOrder, blk)
+	}
+}
+
+func removeBlk(s []int64, blk int64) []int64 {
+	for i, b := range s {
+		if b == blk {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// maxTxnMeta bounds a transaction before auto-commit.
+const maxTxnMeta = 48
+
+// stageMeta records a metadata image in the transaction and the cache, so
+// subsequent reads observe it.
+func (fs *FS) stageMeta(blk int64, data []byte, bt iron.BlockType) {
+	fs.cache.Put(blk, data, true)
+	fs.tx.putMeta(blk, data, bt)
+}
+
+// stageData records an ordered-data image.
+func (fs *FS) stageData(blk int64, data []byte) {
+	fs.cache.Put(blk, data, true)
+	fs.tx.putData(blk, data)
+}
+
+// maybeCommit commits when the running transaction grows large.
+func (fs *FS) maybeCommit() error {
+	if len(fs.tx.metaOrder) >= maxTxnMeta {
+		return fs.commitLocked()
+	}
+	return nil
+}
+
+// commitLocked commits and immediately checkpoints the running transaction.
+func (fs *FS) commitLocked() error {
+	t := fs.tx
+	if fs.sbDirty {
+		sbuf := make([]byte, BlockSize)
+		fs.sb.marshal(sbuf)
+		t.putMeta(0, sbuf, BTSuper)
+		fs.sbDirty = false
+	}
+	if t.empty() {
+		return nil
+	}
+	if err := fs.health.CheckWrite(); err != nil {
+		return err
+	}
+	seq := fs.seq + 1
+	base := int64(fs.sb.JournalStart)
+	need := int64(len(t.metaOrder) + 2)
+	if fs.jhead == 0 {
+		fs.jhead = 1
+	}
+	if fs.jhead+need > int64(fs.sb.JournalLen) {
+		// The ring wraps; prior transactions are checkpointed already,
+		// but the header must point at the new start *before* the
+		// transaction is written, or a crash after its commit would
+		// leave replay scanning the stale tail.
+		fs.jhead = 1
+		jh := jheader{Magic: jMagicHeader, StartRel: 1, StartSeq: seq}
+		hbuf := make([]byte, BlockSize)
+		jh.marshal(hbuf)
+		if err := fs.devWriteMeta(base, hbuf, BTJHeader); err != nil {
+			return err
+		}
+		if err := fs.dev.Barrier(); err != nil {
+			return vfs.ErrIO
+		}
+	}
+	rel := fs.jhead
+	le := binary.LittleEndian
+
+	// Ordered data first (write errors ignored — reproduced bug).
+	if len(t.dataOrder) > 0 {
+		reqs := make([]disk.Request, 0, len(t.dataOrder))
+		for _, blk := range t.dataOrder {
+			reqs = append(reqs, disk.Request{Block: blk, Data: t.data[blk]})
+		}
+		fs.devWriteDataBatch(reqs)
+		if err := fs.dev.Barrier(); err != nil {
+			return vfs.ErrIO
+		}
+	}
+
+	// Descriptor + journaled copies.
+	desc := make([]byte, BlockSize)
+	le.PutUint32(desc[0:], jMagicDesc)
+	le.PutUint32(desc[4:], uint32(len(t.metaOrder)))
+	le.PutUint64(desc[8:], seq)
+	for i, blk := range t.metaOrder {
+		le.PutUint64(desc[16+8*i:], uint64(blk))
+	}
+	reqs := []disk.Request{{Block: base + rel, Data: desc}}
+	rel++
+	for _, blk := range t.metaOrder {
+		cp := make([]byte, BlockSize)
+		copy(cp, t.meta[blk])
+		reqs = append(reqs, disk.Request{Block: base + rel, Data: cp})
+		rel++
+	}
+	if err := fs.devWriteMetaBatch(reqs, BTJDesc); err != nil {
+		return err
+	}
+	if err := fs.dev.Barrier(); err != nil {
+		return vfs.ErrIO
+	}
+
+	// Commit block.
+	commit := make([]byte, BlockSize)
+	le.PutUint32(commit[0:], jMagicCommit)
+	le.PutUint32(commit[4:], uint32(len(t.metaOrder)))
+	le.PutUint64(commit[8:], seq)
+	if err := fs.devWriteMeta(base+rel, commit, BTJCommit); err != nil {
+		return err
+	}
+	rel++
+	if err := fs.dev.Barrier(); err != nil {
+		return vfs.ErrIO
+	}
+
+	// Immediate checkpoint: home locations.
+	home := make([]disk.Request, 0, len(t.metaOrder))
+	for _, blk := range t.metaOrder {
+		home = append(home, disk.Request{Block: blk, Data: t.meta[blk]})
+	}
+	if err := fs.devWriteMetaBatch(home, BTInternal); err != nil {
+		return err
+	}
+	if err := fs.dev.Barrier(); err != nil {
+		return vfs.ErrIO
+	}
+
+	// Advance the header: the transaction is fully checkpointed.
+	jh := jheader{Magic: jMagicHeader, StartRel: uint64(rel), StartSeq: seq + 1}
+	hbuf := make([]byte, BlockSize)
+	jh.marshal(hbuf)
+	if err := fs.devWriteMeta(base, hbuf, BTJHeader); err != nil {
+		return err
+	}
+
+	for _, blk := range t.metaOrder {
+		fs.cache.MarkClean(blk)
+	}
+	for _, blk := range t.dataOrder {
+		fs.cache.MarkClean(blk)
+	}
+	fs.seq = seq
+	fs.jhead = rel
+	fs.tx = newTxn()
+	return nil
+}
+
+// loadJournalHeader initializes the sequence space on a clean mount.
+func (fs *FS) loadJournalHeader() error {
+	buf := make([]byte, BlockSize)
+	if err := fs.dev.ReadBlock(int64(fs.sb.JournalStart), buf); err != nil {
+		fs.rec.Detect(iron.DErrorCode, BTJHeader, "journal header read failed")
+		fs.rec.Recover(iron.RPropagate, BTJHeader, "mount fails")
+		fs.rec.Recover(iron.RStop, BTJHeader, "mount aborted")
+		return vfs.ErrIO
+	}
+	var jh jheader
+	jh.unmarshal(buf)
+	if jh.Magic != jMagicHeader {
+		fs.rec.Detect(iron.DSanity, BTJHeader, "journal header bad magic")
+		fs.rec.Recover(iron.RPropagate, BTJHeader, "mount fails")
+		fs.rec.Recover(iron.RStop, BTJHeader, "mount aborted")
+		return vfs.ErrCorrupt
+	}
+	if jh.StartSeq > 0 {
+		fs.seq = jh.StartSeq - 1
+	}
+	fs.jhead = int64(jh.StartRel)
+	if fs.jhead == 0 {
+		fs.jhead = 1
+	}
+	return nil
+}
+
+// replayJournal applies any committed-but-uncheckpointed transaction. The
+// payload is replayed with no integrity check — the reproduced §5.2 flaw.
+func (fs *FS) replayJournal() error {
+	base := int64(fs.sb.JournalStart)
+	if err := fs.loadJournalHeader(); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	rel := fs.jhead
+	seq := fs.seq + 1
+
+	for rel < int64(fs.sb.JournalLen) {
+		hdr := make([]byte, BlockSize)
+		if err := fs.dev.ReadBlock(base+rel, hdr); err != nil {
+			fs.rec.Detect(iron.DErrorCode, BTJDesc, "journal read failed during recovery")
+			fs.rec.Recover(iron.RPropagate, BTJDesc, "mount fails")
+			fs.rec.Recover(iron.RStop, BTJDesc, "recovery aborted")
+			return vfs.ErrIO
+		}
+		if le.Uint32(hdr[0:]) != jMagicDesc || le.Uint64(hdr[8:]) != seq {
+			break // end of log (or a crash tore the descriptor)
+		}
+		n := int(le.Uint32(hdr[4:]))
+		if n < 0 || 16+8*n > BlockSize || rel+int64(n)+1 >= int64(fs.sb.JournalLen) {
+			fs.rec.Detect(iron.DSanity, BTJDesc, "descriptor count out of range")
+			break
+		}
+		payload := make([][]byte, n)
+		homes := make([]int64, n)
+		for i := 0; i < n; i++ {
+			homes[i] = int64(le.Uint64(hdr[16+8*i:]))
+			pb := make([]byte, BlockSize)
+			if err := fs.dev.ReadBlock(base+rel+1+int64(i), pb); err != nil {
+				fs.rec.Detect(iron.DErrorCode, BTJData, "journal data read failed during recovery")
+				fs.rec.Recover(iron.RPropagate, BTJData, "mount fails")
+				fs.rec.Recover(iron.RStop, BTJData, "recovery aborted")
+				return vfs.ErrIO
+			}
+			payload[i] = pb
+		}
+		cb := make([]byte, BlockSize)
+		if err := fs.dev.ReadBlock(base+rel+1+int64(n), cb); err != nil {
+			fs.rec.Detect(iron.DErrorCode, BTJCommit, "commit read failed during recovery")
+			fs.rec.Recover(iron.RPropagate, BTJCommit, "mount fails")
+			fs.rec.Recover(iron.RStop, BTJCommit, "recovery aborted")
+			return vfs.ErrIO
+		}
+		if le.Uint32(cb[0:]) != jMagicCommit || le.Uint64(cb[8:]) != seq {
+			break // uncommitted tail: correctly discarded
+		}
+		// Replay verbatim: no sanity or type check on the payload (§5.2).
+		// A corrupt journal data block lands on its home location as-is —
+		// including home 0, the superblock.
+		for i := 0; i < n; i++ {
+			if homes[i] < 0 || homes[i] >= fs.dev.NumBlocks() {
+				continue // bound only to keep the simulator in its arena
+			}
+			if err := fs.devWriteMeta(homes[i], payload[i], BTJData); err != nil {
+				return err
+			}
+		}
+		rel += int64(n) + 2
+		seq++
+	}
+	if err := fs.dev.Barrier(); err != nil {
+		return vfs.ErrIO
+	}
+
+	jh := jheader{Magic: jMagicHeader, StartRel: 1, StartSeq: seq}
+	hbuf := make([]byte, BlockSize)
+	jh.marshal(hbuf)
+	if err := fs.devWriteMeta(base, hbuf, BTJHeader); err != nil {
+		return err
+	}
+	fs.seq = seq - 1
+	fs.jhead = 1
+
+	// The replayed superblock may have changed under us; reload it. If the
+	// journal replayed garbage over it, the next sanity check will see it.
+	sbuf := make([]byte, BlockSize)
+	if err := fs.dev.ReadBlock(0, sbuf); err != nil {
+		fs.rec.Detect(iron.DErrorCode, BTSuper, "superblock reread failed")
+		return vfs.ErrIO
+	}
+	fs.sb.unmarshal(sbuf)
+	if err := fs.sb.sane(fs.dev.NumBlocks()); err != nil {
+		fs.rec.Detect(iron.DSanity, BTSuper, "superblock corrupt after replay: "+err.Error())
+		fs.rec.Recover(iron.RStop, BTSuper, "file system unusable")
+		return vfs.ErrCorrupt
+	}
+	fs.cache.Reset()
+	return nil
+}

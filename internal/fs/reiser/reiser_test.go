@@ -1,0 +1,248 @@
+package reiser
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"ironfs/internal/disk"
+	"ironfs/internal/iron"
+	"ironfs/internal/vfs"
+)
+
+func newTestFS(t *testing.T) (*FS, *disk.Disk) {
+	t.Helper()
+	d, err := disk.New(8192, disk.DefaultGeometry(), nil)
+	if err != nil {
+		t.Fatalf("disk.New: %v", err)
+	}
+	if err := Mkfs(d); err != nil {
+		t.Fatalf("Mkfs: %v", err)
+	}
+	fs := New(d, iron.NewRecorder())
+	if err := fs.Mount(); err != nil {
+		t.Fatalf("Mount: %v", err)
+	}
+	return fs, d
+}
+
+func TestMkfsMount(t *testing.T) {
+	fs, _ := newTestFS(t)
+	st, err := fs.Statfs()
+	if err != nil {
+		t.Fatalf("Statfs: %v", err)
+	}
+	if st.TotalBlocks != 8192 || st.FreeBlocks <= 0 {
+		t.Errorf("Statfs = %+v", st)
+	}
+	if err := fs.Unmount(); err != nil {
+		t.Fatalf("Unmount: %v", err)
+	}
+}
+
+func TestTailFile(t *testing.T) {
+	fs, _ := newTestFS(t)
+	if err := fs.Create("/tail", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("small file lives in a direct item")
+	if _, err := fs.Write("/tail", 0, msg); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	buf := make([]byte, len(msg))
+	if n, err := fs.Read("/tail", 0, buf); err != nil || n != len(msg) {
+		t.Fatalf("Read = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatalf("got %q", buf)
+	}
+}
+
+func TestTailConversionAndBigFile(t *testing.T) {
+	fs, _ := newTestFS(t)
+	if err := fs.Create("/grow", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	small := bytes.Repeat([]byte("x"), 1000)
+	if _, err := fs.Write("/grow", 0, small); err != nil {
+		t.Fatal(err)
+	}
+	// Grow past the tail boundary, then far past one indirect item.
+	big := make([]byte, 480*BlockSize)
+	for i := range big {
+		big[i] = byte(i / BlockSize)
+	}
+	if _, err := fs.Write("/grow", 0, big); err != nil {
+		t.Fatalf("big write: %v", err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(big))
+	if n, err := fs.Read("/grow", 0, got); err != nil || n != len(big) {
+		t.Fatalf("Read = %d, %v", n, err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatal("big file content mismatch")
+	}
+}
+
+func TestManyFilesSplitsTree(t *testing.T) {
+	fs, _ := newTestFS(t)
+	const nf = 300
+	for i := 0; i < nf; i++ {
+		p := fmt.Sprintf("/f%03d", i)
+		if err := fs.Create(p, 0o644); err != nil {
+			t.Fatalf("Create %s: %v", p, err)
+		}
+		if _, err := fs.Write(p, 0, []byte(p)); err != nil {
+			t.Fatalf("Write %s: %v", p, err)
+		}
+	}
+	if fs.sb.Height < 2 {
+		t.Errorf("tree height = %d; expected a split beyond one leaf", fs.sb.Height)
+	}
+	ents, err := fs.ReadDir("/")
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(ents) != nf {
+		t.Fatalf("ReadDir = %d entries, want %d", len(ents), nf)
+	}
+	for i := 0; i < nf; i++ {
+		p := fmt.Sprintf("/f%03d", i)
+		buf := make([]byte, len(p))
+		if _, err := fs.Read(p, 0, buf); err != nil || string(buf) != p {
+			t.Fatalf("Read %s = %q, %v", p, buf, err)
+		}
+	}
+	// Delete everything; the tree must shrink back to (near) empty.
+	for i := 0; i < nf; i++ {
+		if err := fs.Unlink(fmt.Sprintf("/f%03d", i)); err != nil {
+			t.Fatalf("Unlink %d: %v", i, err)
+		}
+	}
+	ents, _ = fs.ReadDir("/")
+	if len(ents) != 0 {
+		t.Fatalf("dir not empty after deletes: %d", len(ents))
+	}
+}
+
+func TestPersistenceAcrossRemount(t *testing.T) {
+	fs, d := newTestFS(t)
+	if err := fs.Mkdir("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/d/file", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("reiser"), 3000)
+	if _, err := fs.Write("/d/file", 0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	fs2 := New(d, nil)
+	if err := fs2.Mount(); err != nil {
+		t.Fatalf("remount: %v", err)
+	}
+	got := make([]byte, len(data))
+	if n, err := fs2.Read("/d/file", 0, got); err != nil || n != len(data) {
+		t.Fatalf("Read = %d, %v", n, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("content mismatch after remount")
+	}
+}
+
+func TestJournalReplayAfterCrash(t *testing.T) {
+	fs, d := newTestFS(t)
+	if err := fs.Create("/x", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Write("/x", 0, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: no unmount; remount must replay (or find a consistent image —
+	// this implementation checkpoints at commit, so replay is a no-op, but
+	// the dirty-mount path must still succeed).
+	fs2 := New(d, nil)
+	if err := fs2.Mount(); err != nil {
+		t.Fatalf("dirty mount: %v", err)
+	}
+	buf := make([]byte, 5)
+	if _, err := fs2.Read("/x", 0, buf); err != nil || string(buf) != "hello" {
+		t.Fatalf("after recovery: %q, %v", buf, err)
+	}
+}
+
+func TestPanicOnWriteFailure(t *testing.T) {
+	// ReiserFS's signature policy: a metadata write failure panics the
+	// "machine" (terminal health state), protecting on-disk structures.
+	d, _ := disk.New(8192, disk.DefaultGeometry(), nil)
+	if err := Mkfs(d); err != nil {
+		t.Fatal(err)
+	}
+	rec := iron.NewRecorder()
+	fs := New(d, rec)
+	// Fail every write beyond a budget by closing the device underneath…
+	// simpler: use an erroring wrapper.
+	fdev := &failWrites{Device: d, failAfter: 20}
+	fs.dev = fdev
+	if err := fs.Mount(); err != nil {
+		t.Fatalf("Mount: %v", err)
+	}
+	var sawErr bool
+	for i := 0; i < 50; i++ {
+		if err := fs.Create(fmt.Sprintf("/p%d", i), 0o644); err != nil {
+			sawErr = true
+			break
+		}
+		if err := fs.Sync(); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("no error despite write failures")
+	}
+	if fs.Health() != vfs.Panicked {
+		t.Fatalf("health = %v, want panicked", fs.Health())
+	}
+	if !rec.Recoveries().Has(iron.RStop) {
+		t.Error("RStop not recorded")
+	}
+	// Everything afterwards fails fast.
+	if err := fs.Create("/after", 0o644); !errors.Is(err, vfs.ErrPanicked) {
+		t.Fatalf("post-panic Create = %v", err)
+	}
+}
+
+// failWrites fails all writes after a budget of successful ones.
+type failWrites struct {
+	disk.Device
+	failAfter int
+	n         int
+}
+
+func (f *failWrites) WriteBlock(blk int64, data []byte) error {
+	f.n++
+	if f.n > f.failAfter {
+		return disk.ErrIO
+	}
+	return f.Device.WriteBlock(blk, data)
+}
+
+func (f *failWrites) WriteBatch(reqs []disk.Request) error {
+	for _, r := range reqs {
+		if err := f.WriteBlock(r.Block, r.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,419 @@
+package reiser
+
+import (
+	"fmt"
+
+	"ironfs/internal/iron"
+	"ironfs/internal/vfs"
+)
+
+// This file implements the balanced-tree engine: search, item insert,
+// item delete (with node removal), and bounded range scans. Insertion
+// splits full nodes and grows the tree upward; deletion removes empty
+// nodes and collapses a single-child root, but does not rebalance
+// under-full siblings (a documented simplification — correctness is
+// unaffected, occupancy can be lower than real ReiserFS).
+
+// pathElem is one step of a root-to-leaf descent.
+type pathElem struct {
+	blk int64
+	n   *node
+	idx int // child index taken (internal) or item position (leaf)
+}
+
+// errTreeCorrupt marks a sanity-check failure inside the tree.
+type errTreeCorrupt struct{ msg string }
+
+func (e errTreeCorrupt) Error() string { return "reiser: tree corrupt: " + e.msg }
+
+// readNode reads and parses a tree node with full policy: error-code
+// checking on the read and ReiserFS's block-header sanity checks on the
+// contents. Per §5.2, a failed sanity check on a tree block makes ReiserFS
+// panic rather than return an error (one of its documented excesses).
+func (fs *FS) readNode(blk int64, bt iron.BlockType) (*node, error) {
+	buf, err := fs.readMetaBlock(blk, bt)
+	if err != nil {
+		return nil, err
+	}
+	n, perr := unmarshalNode(buf)
+	if perr != nil {
+		fs.rec.Detect(iron.DSanity, bt, perr.Error())
+		fs.panicFS(bt, "sanity check failed: "+perr.Error())
+		return nil, vfs.ErrPanicked
+	}
+	return n, nil
+}
+
+// nodeType classifies a tree block for event attribution: the root, an
+// internal node, or a leaf classified by its most prominent item type.
+func (fs *FS) nodeType(blk int64, n *node) iron.BlockType {
+	if blk == int64(fs.sb.Root) {
+		return BTRoot
+	}
+	if n == nil || !n.isLeaf() {
+		return BTInternal
+	}
+	return leafType(n)
+}
+
+// leafType classifies a leaf by priority: directory items, then indirect,
+// then stat (matching how the fingerprinting rows are populated).
+func leafType(n *node) iron.BlockType {
+	hasStat, hasInd := false, false
+	for _, it := range n.Items {
+		switch it.K.Type {
+		case itemDir:
+			return BTDirItem
+		case itemIndirect:
+			hasInd = true
+		case itemStat:
+			hasStat = true
+		}
+	}
+	if hasInd {
+		return BTIndirect
+	}
+	if hasStat {
+		return BTStat
+	}
+	return BTData
+}
+
+// writeNode serializes a node into the running transaction and the cache.
+func (fs *FS) writeNode(blk int64, n *node) {
+	fs.stageMeta(blk, marshalNode(n), fs.nodeType(blk, n))
+}
+
+// search descends from the root to the leaf that would contain k. The
+// returned path includes every node visited; found reports an exact match
+// and path[len-1].idx is the item position (or insertion point).
+func (fs *FS) search(k key) (path []pathElem, found bool, err error) {
+	if fs.sb.Root == 0 {
+		return nil, false, nil
+	}
+	blk := int64(fs.sb.Root)
+	for depth := 0; ; depth++ {
+		if depth > MaxLevel {
+			fs.rec.Detect(iron.DSanity, BTInternal, "tree deeper than maximum height")
+			fs.panicFS(BTInternal, "tree too deep")
+			return nil, false, vfs.ErrPanicked
+		}
+		bt := BTInternal
+		if blk == int64(fs.sb.Root) {
+			bt = BTRoot
+		}
+		n, err := fs.readNode(blk, bt)
+		if err != nil {
+			return nil, false, err
+		}
+		if n.isLeaf() {
+			idx, ok := leafFind(n, k)
+			path = append(path, pathElem{blk: blk, n: n, idx: idx})
+			return path, ok, nil
+		}
+		// children[i] holds keys < Keys[i]; Keys[i] is the first key of
+		// children[i+1].
+		ci := 0
+		for ci < len(n.Keys) && n.Keys[ci].cmp(k) <= 0 {
+			ci++
+		}
+		if ci >= len(n.Children) {
+			fs.rec.Detect(iron.DSanity, bt, "internal node child index out of range")
+			fs.panicFS(bt, "malformed internal node")
+			return nil, false, vfs.ErrPanicked
+		}
+		path = append(path, pathElem{blk: blk, n: n, idx: ci})
+		blk = n.Children[ci]
+		if blk <= 0 || blk >= int64(fs.sb.BlockCount) {
+			fs.rec.Detect(iron.DSanity, bt, "child pointer out of range")
+			fs.panicFS(bt, "wild child pointer")
+			return nil, false, vfs.ErrPanicked
+		}
+	}
+}
+
+// leafFind locates k in a leaf, returning (position, exact).
+func leafFind(n *node, k key) (int, bool) {
+	lo, hi := 0, len(n.Items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch c := n.Items[mid].K.cmp(k); {
+		case c == 0:
+			return mid, true
+		case c < 0:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return lo, false
+}
+
+// findItem returns a copy of the item with exactly key k.
+func (fs *FS) findItem(k key) (item, error) {
+	path, found, err := fs.search(k)
+	if err != nil {
+		return item{}, err
+	}
+	if !found {
+		return item{}, vfs.ErrNotExist
+	}
+	leaf := path[len(path)-1]
+	it := leaf.n.Items[leaf.idx]
+	body := make([]byte, len(it.Body))
+	copy(body, it.Body)
+	return item{K: it.K, Body: body}, nil
+}
+
+// insertItem places it into the tree, splitting nodes as needed.
+func (fs *FS) insertItem(it item) error {
+	if itemHdrLen+len(it.Body) > BlockSize-nodeHdrLen {
+		return fmt.Errorf("reiser: item too large (%d bytes)", len(it.Body))
+	}
+	if fs.sb.Root == 0 {
+		blk, err := fs.allocBlock(BTRoot)
+		if err != nil {
+			return err
+		}
+		root := &node{Level: 1, Items: []item{it}}
+		fs.writeNode(blk, root)
+		fs.sb.Root = uint64(blk)
+		fs.sb.Height = 1
+		fs.sbDirty = true
+		return nil
+	}
+	path, found, err := fs.search(it.K)
+	if err != nil {
+		return err
+	}
+	if found {
+		return vfs.ErrExist
+	}
+	leaf := path[len(path)-1]
+	n := leaf.n
+	n.Items = append(n.Items, item{})
+	copy(n.Items[leaf.idx+1:], n.Items[leaf.idx:])
+	n.Items[leaf.idx] = it
+
+	if leafSpace(n.Items) <= BlockSize {
+		fs.writeNode(leaf.blk, n)
+		return nil
+	}
+	// Split the leaf: right half moves to a new block; the separator (the
+	// right node's first key) climbs into the parent.
+	mid := len(n.Items) / 2
+	right := &node{Level: 1, Items: append([]item{}, n.Items[mid:]...)}
+	n.Items = n.Items[:mid]
+	rblk, err := fs.allocBlock(BTInternal)
+	if err != nil {
+		return err
+	}
+	fs.writeNode(leaf.blk, n)
+	fs.writeNode(rblk, right)
+	return fs.insertSeparator(path[:len(path)-1], right.Items[0].K, rblk)
+}
+
+// insertSeparator inserts (sep, rightChild) into the parent at the end of
+// path, splitting upward as required; an empty path grows a new root.
+func (fs *FS) insertSeparator(path []pathElem, sep key, rightChild int64) error {
+	if len(path) == 0 {
+		blk, err := fs.allocBlock(BTRoot)
+		if err != nil {
+			return err
+		}
+		oldRoot := int64(fs.sb.Root)
+		root := &node{
+			Level:    int(fs.sb.Height) + 1,
+			Keys:     []key{sep},
+			Children: []int64{oldRoot, rightChild},
+		}
+		fs.sb.Root = uint64(blk)
+		fs.sb.Height++
+		fs.sbDirty = true
+		fs.writeNode(blk, root)
+		return nil
+	}
+	p := path[len(path)-1]
+	n, idx := p.n, p.idx
+	n.Keys = append(n.Keys, key{})
+	copy(n.Keys[idx+1:], n.Keys[idx:])
+	n.Keys[idx] = sep
+	n.Children = append(n.Children, 0)
+	copy(n.Children[idx+2:], n.Children[idx+1:])
+	n.Children[idx+1] = rightChild
+
+	if nodeHdrLen+len(n.Keys)*itemHdrLen+len(n.Children)*8 <= BlockSize {
+		fs.writeNode(p.blk, n)
+		return nil
+	}
+	// Split the internal node; the middle key moves up.
+	mid := len(n.Keys) / 2
+	upKey := n.Keys[mid]
+	right := &node{
+		Level:    n.Level,
+		Keys:     append([]key{}, n.Keys[mid+1:]...),
+		Children: append([]int64{}, n.Children[mid+1:]...),
+	}
+	n.Keys = n.Keys[:mid]
+	n.Children = n.Children[:mid+1]
+	rblk, err := fs.allocBlock(BTInternal)
+	if err != nil {
+		return err
+	}
+	fs.writeNode(p.blk, n)
+	fs.writeNode(rblk, right)
+	return fs.insertSeparator(path[:len(path)-1], upKey, rblk)
+}
+
+// replaceItem updates the body of an existing item in place when it fits,
+// falling back to delete+insert when the leaf would overflow.
+func (fs *FS) replaceItem(k key, body []byte) error {
+	path, found, err := fs.search(k)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return vfs.ErrNotExist
+	}
+	leaf := path[len(path)-1]
+	n := leaf.n
+	old := n.Items[leaf.idx].Body
+	n.Items[leaf.idx].Body = body
+	if leafSpace(n.Items) <= BlockSize {
+		fs.writeNode(leaf.blk, n)
+		return nil
+	}
+	n.Items[leaf.idx].Body = old
+	if err := fs.deleteItem(k); err != nil {
+		return err
+	}
+	return fs.insertItem(item{K: k, Body: body})
+}
+
+// deleteItem removes the item with key k; empty nodes are unlinked from
+// their parents and freed, and a single-child root collapses.
+func (fs *FS) deleteItem(k key) error {
+	path, found, err := fs.search(k)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return vfs.ErrNotExist
+	}
+	leaf := path[len(path)-1]
+	n := leaf.n
+	n.Items = append(n.Items[:leaf.idx], n.Items[leaf.idx+1:]...)
+	fs.writeNode(leaf.blk, n)
+	if len(n.Items) > 0 {
+		return nil
+	}
+	return fs.removeChild(path[:len(path)-1], leaf.blk)
+}
+
+// removeChild unlinks an empty child block from its parent, cascading.
+func (fs *FS) removeChild(path []pathElem, child int64) error {
+	if err := fs.freeBlock(child); err != nil {
+		return err
+	}
+	if len(path) == 0 {
+		fs.sb.Root = 0
+		fs.sb.Height = 0
+		fs.sbDirty = true
+		return nil
+	}
+	p := path[len(path)-1]
+	n := p.n
+	ci := -1
+	for i, c := range n.Children {
+		if c == child {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		fs.rec.Detect(iron.DSanity, BTInternal, "child not found in parent")
+		fs.panicFS(BTInternal, "parent/child disagreement")
+		return vfs.ErrPanicked
+	}
+	n.Children = append(n.Children[:ci], n.Children[ci+1:]...)
+	// Child ci spans [Keys[ci-1], Keys[ci]); removing it drops its lower
+	// separator (or Keys[0] when the first child goes).
+	ki := ci - 1
+	if ki < 0 {
+		ki = 0
+	}
+	if ki < len(n.Keys) {
+		n.Keys = append(n.Keys[:ki], n.Keys[ki+1:]...)
+	}
+	if len(n.Children) == 0 {
+		return fs.removeChild(path[:len(path)-1], p.blk)
+	}
+	if len(n.Children) == 1 && p.blk == int64(fs.sb.Root) {
+		// Collapse the root.
+		only := n.Children[0]
+		if err := fs.freeBlock(p.blk); err != nil {
+			return err
+		}
+		fs.sb.Root = uint64(only)
+		fs.sb.Height--
+		fs.sbDirty = true
+		return nil
+	}
+	fs.writeNode(p.blk, n)
+	return nil
+}
+
+// rangeItems invokes fn on a copy of every item with lo <= key <= hi, in
+// key order.
+func (fs *FS) rangeItems(lo, hi key, fn func(item) error) error {
+	if fs.sb.Root == 0 {
+		return nil
+	}
+	return fs.rangeWalk(int64(fs.sb.Root), lo, hi, fn)
+}
+
+func (fs *FS) rangeWalk(blk int64, lo, hi key, fn func(item) error) error {
+	bt := BTInternal
+	if blk == int64(fs.sb.Root) {
+		bt = BTRoot
+	}
+	n, err := fs.readNode(blk, bt)
+	if err != nil {
+		return err
+	}
+	if n.isLeaf() {
+		for _, it := range n.Items {
+			if it.K.cmp(lo) < 0 {
+				continue
+			}
+			if it.K.cmp(hi) > 0 {
+				break
+			}
+			body := make([]byte, len(it.Body))
+			copy(body, it.Body)
+			if err := fn(item{K: it.K, Body: body}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i, c := range n.Children {
+		// Child i spans (Keys[i-1], Keys[i]]; skip subtrees outside the
+		// range.
+		if i > 0 && n.Keys[i-1].cmp(hi) > 0 {
+			break
+		}
+		if i < len(n.Keys) && n.Keys[i].cmp(lo) < 0 {
+			continue
+		}
+		if c <= 0 || c >= int64(fs.sb.BlockCount) {
+			fs.rec.Detect(iron.DSanity, bt, "child pointer out of range")
+			fs.panicFS(bt, "wild child pointer")
+			return vfs.ErrPanicked
+		}
+		if err := fs.rangeWalk(c, lo, hi, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package fstest
+
+// The harness must be able to fail: these tests feed it deliberately
+// broken file systems and demand a divergence report — a test of the
+// tests, so the green model runs elsewhere mean something.
+
+import (
+	"strings"
+	"testing"
+
+	"ironfs/internal/disk"
+	"ironfs/internal/fs/ext3"
+	"ironfs/internal/vfs"
+)
+
+func goodFS(t *testing.T) vfs.FileSystem {
+	t.Helper()
+	d, err := disk.New(8192, disk.DefaultGeometry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ext3.Mkfs(d, ext3.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	fs := ext3.New(d, ext3.Options{}, nil)
+	if err := fs.Mount(); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// lyingFS wraps a correct file system but silently truncates every write
+// to half its length — a subtle corruption the harness must notice.
+type lyingFS struct {
+	vfs.FileSystem
+}
+
+func (l *lyingFS) Write(path string, off int64, data []byte) (int, error) {
+	if len(data) > 1 {
+		if _, err := l.FileSystem.Write(path, off, data[:len(data)/2]); err != nil {
+			return 0, err
+		}
+	} else if _, err := l.FileSystem.Write(path, off, data); err != nil {
+		return 0, err
+	}
+	return len(data), nil // claims the full write happened
+}
+
+// forgetfulFS drops every third create.
+type forgetfulFS struct {
+	vfs.FileSystem
+	n int
+}
+
+func (f *forgetfulFS) Create(path string, mode uint16) error {
+	f.n++
+	if f.n%3 == 0 {
+		return nil // claims success, does nothing
+	}
+	return f.FileSystem.Create(path, mode)
+}
+
+func TestHarnessPassesCorrectFS(t *testing.T) {
+	if err := Run(goodFS(t), Config{Seed: 99, Ops: 200}); err != nil {
+		t.Fatalf("correct file system failed the harness: %v", err)
+	}
+}
+
+func TestHarnessCatchesShortWrites(t *testing.T) {
+	err := Run(&lyingFS{goodFS(t)}, Config{Seed: 3, Ops: 300})
+	if err == nil {
+		t.Fatal("the harness missed a file system that truncates writes")
+	}
+	if !strings.Contains(err.Error(), "divergence") {
+		t.Fatalf("unexpected failure mode: %v", err)
+	}
+}
+
+func TestHarnessCatchesLostCreates(t *testing.T) {
+	err := Run(&forgetfulFS{FileSystem: goodFS(t)}, Config{Seed: 5, Ops: 300})
+	if err == nil {
+		t.Fatal("the harness missed a file system that drops creates")
+	}
+}
+
+func TestCrashSweepCatchesFlakyFsync(t *testing.T) {
+	// A "file system" whose fsync only really commits every other call
+	// claims durability it doesn't have; some crash point must expose a
+	// lost file.
+	mkfs := func(dev disk.Device) error { return ext3.Mkfs(dev, ext3.Options{}) }
+	newFS := func(dev disk.Device) vfs.FileSystem {
+		return &flakyFsyncFS{FileSystem: ext3.New(dev, ext3.Options{}, nil)}
+	}
+	_, err := SweepCrashes(CrashConfig{Stride: 1, MaxPoints: 200}, mkfs, newFS)
+	if err == nil {
+		t.Fatal("the crash sweep passed a file system whose fsync is a lie")
+	}
+}
+
+// flakyFsyncFS claims success on odd fsync calls without doing anything.
+type flakyFsyncFS struct {
+	vfs.FileSystem
+	n int
+}
+
+func (f *flakyFsyncFS) Fsync(path string) error {
+	f.n++
+	if f.n%2 == 1 {
+		return nil // durability lie
+	}
+	return f.FileSystem.Fsync(path)
+}

@@ -1,0 +1,237 @@
+// Package iron defines the IRON (Internal RObustNess) taxonomy from
+// "IRON File Systems" (SOSP '05): the detection and recovery levels a file
+// system may employ against partial disk failures, plus the machinery used
+// to record and render a file system's failure policy.
+//
+// The taxonomy is the paper's vocabulary for failure policy: detection
+// levels describe how a file system notices that a block is inaccessible or
+// corrupt, and recovery levels describe what it does about it. A failure
+// policy is then a mapping from (workload, block type, fault class) to sets
+// of detection and recovery levels — exactly what Figures 2 and 3 of the
+// paper plot.
+package iron
+
+import "fmt"
+
+// DetectionLevel enumerates the Level-D techniques of the IRON taxonomy
+// (Table 1 of the paper).
+type DetectionLevel int
+
+const (
+	// DZero performs no detection at all: the file system assumes the
+	// disk works and does not check return codes.
+	DZero DetectionLevel = iota
+	// DErrorCode checks the return codes provided by the lower levels of
+	// the storage stack.
+	DErrorCode
+	// DSanity verifies that data structures are internally consistent
+	// (magic numbers, field ranges, cross-block agreement).
+	DSanity
+	// DRedundancy uses redundant information (typically checksums) over
+	// one or more blocks to detect corruption in an end-to-end way.
+	DRedundancy
+
+	numDetectionLevels = iota
+)
+
+// String returns the paper's name for the detection level.
+func (d DetectionLevel) String() string {
+	switch d {
+	case DZero:
+		return "DZero"
+	case DErrorCode:
+		return "DErrorCode"
+	case DSanity:
+		return "DSanity"
+	case DRedundancy:
+		return "DRedundancy"
+	}
+	return fmt.Sprintf("DetectionLevel(%d)", int(d))
+}
+
+// Symbol returns the single-character key used in the Figure 2/3 plots.
+func (d DetectionLevel) Symbol() byte {
+	switch d {
+	case DZero:
+		return ' '
+	case DErrorCode:
+		return '-'
+	case DSanity:
+		return '|'
+	case DRedundancy:
+		return '\\'
+	}
+	return '?'
+}
+
+// RecoveryLevel enumerates the Level-R techniques of the IRON taxonomy
+// (Table 2 of the paper).
+type RecoveryLevel int
+
+const (
+	// RZero performs no recovery at all, not even notifying callers.
+	RZero RecoveryLevel = iota
+	// RPropagate propagates the error up through the file system to the
+	// application.
+	RPropagate
+	// RStop halts file system activity: crash/panic, abort the journal,
+	// or remount read-only, limiting the damage.
+	RStop
+	// RGuess manufactures a response (e.g., a zero-filled block) and
+	// keeps running; the failure is hidden.
+	RGuess
+	// RRetry retries the failed read or write, which handles transient
+	// faults.
+	RRetry
+	// RRepair repairs inconsistent data structures in place, as fsck
+	// would.
+	RRepair
+	// RRemap writes a failed block to a different location.
+	RRemap
+	// RRedundancy recovers lost or corrupt blocks from replicas, parity,
+	// or other redundant encodings.
+	RRedundancy
+
+	numRecoveryLevels = iota
+)
+
+// String returns the paper's name for the recovery level.
+func (r RecoveryLevel) String() string {
+	switch r {
+	case RZero:
+		return "RZero"
+	case RPropagate:
+		return "RPropagate"
+	case RStop:
+		return "RStop"
+	case RGuess:
+		return "RGuess"
+	case RRetry:
+		return "RRetry"
+	case RRepair:
+		return "RRepair"
+	case RRemap:
+		return "RRemap"
+	case RRedundancy:
+		return "RRedundancy"
+	}
+	return fmt.Sprintf("RecoveryLevel(%d)", int(r))
+}
+
+// Symbol returns the single-character key used in the Figure 2/3 plots.
+func (r RecoveryLevel) Symbol() byte {
+	switch r {
+	case RZero:
+		return ' '
+	case RPropagate:
+		return '-'
+	case RStop:
+		return '|'
+	case RGuess:
+		return 'g'
+	case RRetry:
+		return '/'
+	case RRepair:
+		return 'r'
+	case RRemap:
+		return 'm'
+	case RRedundancy:
+		return '\\'
+	}
+	return '?'
+}
+
+// BlockType names an on-disk data structure of a particular file system
+// ("inode", "j-commit", "stat item", ...). The set of types is per file
+// system; Table 4 of the paper lists the ones used here.
+type BlockType string
+
+// Unclassified is the type reported for blocks the type resolver cannot
+// attribute to any known structure (e.g., free blocks).
+const Unclassified BlockType = "unclassified"
+
+// FaultClass is the class of partial-disk fault injected beneath the file
+// system, per the fail-partial failure model.
+type FaultClass int
+
+const (
+	// ReadFailure: the block cannot be read; the device returns an error.
+	ReadFailure FaultClass = iota
+	// WriteFailure: the block cannot be written; the device returns an
+	// error and drops the write.
+	WriteFailure
+	// Corruption: a read silently returns altered data.
+	Corruption
+	// PhantomWrite: the drive reports the write complete but never
+	// writes the media (§2.2's firmware "phantom write").
+	PhantomWrite
+	// MisdirectedWrite: the drive writes the correct data to the wrong
+	// location (§2.2's firmware "misdirected write").
+	MisdirectedWrite
+
+	// NumFaultClasses is the number of fault classes.
+	NumFaultClasses = iota
+)
+
+// String returns a human-readable name for the fault class.
+func (f FaultClass) String() string {
+	switch f {
+	case ReadFailure:
+		return "read failure"
+	case WriteFailure:
+		return "write failure"
+	case Corruption:
+		return "corruption"
+	case PhantomWrite:
+		return "phantom write"
+	case MisdirectedWrite:
+		return "misdirected write"
+	}
+	return fmt.Sprintf("FaultClass(%d)", int(f))
+}
+
+// DetectionSet is a bit set of detection levels observed for one scenario.
+type DetectionSet uint8
+
+// Add includes level d in the set.
+func (s *DetectionSet) Add(d DetectionLevel) { *s |= 1 << uint(d) }
+
+// Has reports whether level d is in the set.
+func (s DetectionSet) Has(d DetectionLevel) bool { return s&(1<<uint(d)) != 0 }
+
+// Empty reports whether no detection (beyond DZero) was observed.
+func (s DetectionSet) Empty() bool { return s&^(1<<uint(DZero)) == 0 }
+
+// Levels returns the levels present in the set, in taxonomy order.
+func (s DetectionSet) Levels() []DetectionLevel {
+	var out []DetectionLevel
+	for d := DZero; int(d) < numDetectionLevels; d++ {
+		if s.Has(d) && d != DZero {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// RecoverySet is a bit set of recovery levels observed for one scenario.
+type RecoverySet uint16
+
+// Add includes level r in the set.
+func (s *RecoverySet) Add(r RecoveryLevel) { *s |= 1 << uint(r) }
+
+// Has reports whether level r is in the set.
+func (s RecoverySet) Has(r RecoveryLevel) bool { return s&(1<<uint(r)) != 0 }
+
+// Empty reports whether no recovery (beyond RZero) was observed.
+func (s RecoverySet) Empty() bool { return s&^(1<<uint(RZero)) == 0 }
+
+// Levels returns the levels present in the set, in taxonomy order.
+func (s RecoverySet) Levels() []RecoveryLevel {
+	var out []RecoveryLevel
+	for r := RZero; int(r) < numRecoveryLevels; r++ {
+		if s.Has(r) && r != RZero {
+			out = append(out, r)
+		}
+	}
+	return out
+}

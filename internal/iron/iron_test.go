@@ -1,0 +1,180 @@
+package iron
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevelStringsAndSymbols(t *testing.T) {
+	dwant := map[DetectionLevel]string{
+		DZero: "DZero", DErrorCode: "DErrorCode", DSanity: "DSanity", DRedundancy: "DRedundancy",
+	}
+	for d, want := range dwant {
+		if d.String() != want {
+			t.Errorf("%v.String() = %q", d, d.String())
+		}
+	}
+	rwant := map[RecoveryLevel]string{
+		RZero: "RZero", RPropagate: "RPropagate", RStop: "RStop", RGuess: "RGuess",
+		RRetry: "RRetry", RRepair: "RRepair", RRemap: "RRemap", RRedundancy: "RRedundancy",
+	}
+	for r, want := range rwant {
+		if r.String() != want {
+			t.Errorf("%v.String() = %q", r, r.String())
+		}
+	}
+	// Symbols are unique among the visible detection levels.
+	seen := map[byte]bool{}
+	for _, d := range []DetectionLevel{DErrorCode, DSanity, DRedundancy} {
+		if seen[d.Symbol()] {
+			t.Errorf("duplicate symbol %c", d.Symbol())
+		}
+		seen[d.Symbol()] = true
+	}
+}
+
+func TestSets(t *testing.T) {
+	var ds DetectionSet
+	if !ds.Empty() {
+		t.Fatal("zero set not empty")
+	}
+	ds.Add(DSanity)
+	ds.Add(DErrorCode)
+	if ds.Empty() || !ds.Has(DSanity) || ds.Has(DRedundancy) {
+		t.Fatal("detection set operations broken")
+	}
+	if got := ds.Levels(); len(got) != 2 || got[0] != DErrorCode || got[1] != DSanity {
+		t.Fatalf("Levels = %v", got)
+	}
+
+	var rs RecoverySet
+	rs.Add(RRedundancy)
+	rs.Add(RRetry)
+	if rs.Empty() || !rs.Has(RRetry) || rs.Has(RStop) {
+		t.Fatal("recovery set operations broken")
+	}
+	if got := rs.Levels(); len(got) != 2 || got[0] != RRetry || got[1] != RRedundancy {
+		t.Fatalf("Levels = %v", got)
+	}
+}
+
+// TestQuickSetMembership: adding any subset yields exactly that subset.
+func TestQuickSetMembership(t *testing.T) {
+	f := func(mask uint8) bool {
+		var rs RecoverySet
+		var want []RecoveryLevel
+		for r := RPropagate; int(r) < numRecoveryLevels; r++ {
+			if mask&(1<<uint(r)) != 0 {
+				rs.Add(r)
+				want = append(want, r)
+			}
+		}
+		got := rs.Levels()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	var nilRec *Recorder
+	nilRec.Detect(DSanity, "x", "must not panic")
+	nilRec.Recover(RStop, "x", "must not panic")
+	if nilRec.Events() != nil {
+		t.Fatal("nil recorder returned events")
+	}
+
+	r := NewRecorder()
+	r.Detect(DErrorCode, "inode", "read failed")
+	r.Recover(RPropagate, "inode", "error to caller")
+	r.Recover(RStop, "super", "abort")
+	if len(r.Events()) != 3 {
+		t.Fatalf("events = %d", len(r.Events()))
+	}
+	if !r.Detections().Has(DErrorCode) || !r.Recoveries().Has(RStop) {
+		t.Fatal("aggregation broken")
+	}
+	sum := r.Summary()
+	for _, want := range []string{"inode: DErrorCode x1", "super: RStop x1"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+	r.Reset()
+	if len(r.Events()) != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	blocks := []BlockType{"inode", "data"}
+	m := NewMatrix("testfs", ReadFailure, blocks, []string{"a", "b"})
+	var ds DetectionSet
+	ds.Add(DErrorCode)
+	var rs RecoverySet
+	rs.Add(RPropagate)
+	if err := m.Set("inode", "a", Cell{Applicable: true, Detection: ds, Recovery: rs}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("nope", "a", Cell{}); err == nil {
+		t.Error("Set accepted unknown block")
+	}
+	c, ok := m.At("inode", "a")
+	if !ok || !c.Applicable || !c.Detection.Has(DErrorCode) {
+		t.Fatalf("At = %+v ok=%v", c, ok)
+	}
+	out := m.Render()
+	for _, want := range []string{"testfs under read failure", "Detection:", "Recovery:", "inode", "data"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	// The applicable detection cell renders '-', the inapplicable '.'.
+	lines := strings.Split(out, "\n")
+	var inodeLine string
+	for i, l := range lines {
+		if strings.Contains(l, "Detection:") {
+			inodeLine = lines[i+2]
+			break
+		}
+	}
+	if !strings.HasSuffix(inodeLine, "-.") {
+		t.Errorf("inode detection row = %q", inodeLine)
+	}
+}
+
+func TestTable5Render(t *testing.T) {
+	m := NewMatrix("fsA", ReadFailure, []BlockType{"x"}, []string{"a"})
+	var rs RecoverySet
+	rs.Add(RStop)
+	_ = m.Set("x", "a", Cell{Applicable: true, Recovery: rs})
+	counts := TechniqueCounts{FS: "fsA"}
+	counts.Tally(m)
+	if counts.Applicable != 1 || counts.Recovery[RStop] != 1 || counts.Detection[DZero] != 1 {
+		t.Fatalf("counts = %+v", counts)
+	}
+	out := RenderTable5([]TechniqueCounts{counts})
+	if !strings.Contains(out, "fsA") || !strings.Contains(out, "RStop") {
+		t.Errorf("table5 render:\n%s", out)
+	}
+}
+
+func TestFaultClassString(t *testing.T) {
+	for fc, want := range map[FaultClass]string{
+		ReadFailure: "read failure", WriteFailure: "write failure", Corruption: "corruption",
+	} {
+		if fc.String() != want {
+			t.Errorf("%d = %q", fc, fc.String())
+		}
+	}
+}

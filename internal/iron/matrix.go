@@ -1,0 +1,228 @@
+package iron
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Cell is one entry of a failure-policy matrix: the detection and recovery
+// techniques observed for a single (workload, block type, fault class)
+// scenario.
+type Cell struct {
+	// Applicable is false when the workload never touches the block type
+	// with the faulted operation (rendered gray in the paper's figures).
+	Applicable bool
+	Detection  DetectionSet
+	Recovery   RecoverySet
+}
+
+// Matrix is a Figure 2/3-style failure-policy matrix for one file system
+// and one fault class: block types down the rows, workloads across the
+// columns.
+type Matrix struct {
+	// FS names the file system under test ("ext3", "reiserfs", ...).
+	FS string
+	// Fault is the injected fault class this matrix describes.
+	Fault FaultClass
+	// Workloads are the column labels, in order (the paper uses a..t).
+	Workloads []string
+	// Blocks are the row labels, in order (Table 4's structures).
+	Blocks []BlockType
+	// Cells is indexed [block][workload].
+	Cells [][]Cell
+}
+
+// NewMatrix returns a Matrix with all cells inapplicable.
+func NewMatrix(fs string, fault FaultClass, blocks []BlockType, workloads []string) *Matrix {
+	cells := make([][]Cell, len(blocks))
+	for i := range cells {
+		cells[i] = make([]Cell, len(workloads))
+	}
+	return &Matrix{FS: fs, Fault: fault, Workloads: workloads, Blocks: blocks, Cells: cells}
+}
+
+// Set fills the cell for the given block row and workload column.
+func (m *Matrix) Set(block BlockType, workload string, c Cell) error {
+	bi, wi := m.index(block, workload)
+	if bi < 0 || wi < 0 {
+		return fmt.Errorf("iron: no cell for block %q workload %q", block, workload)
+	}
+	m.Cells[bi][wi] = c
+	return nil
+}
+
+// At returns the cell for the given block and workload; ok is false when
+// the labels are unknown.
+func (m *Matrix) At(block BlockType, workload string) (Cell, bool) {
+	bi, wi := m.index(block, workload)
+	if bi < 0 || wi < 0 {
+		return Cell{}, false
+	}
+	return m.Cells[bi][wi], true
+}
+
+func (m *Matrix) index(block BlockType, workload string) (int, int) {
+	bi, wi := -1, -1
+	for i, b := range m.Blocks {
+		if b == block {
+			bi = i
+			break
+		}
+	}
+	for i, w := range m.Workloads {
+		if w == workload {
+			wi = i
+			break
+		}
+	}
+	return bi, wi
+}
+
+// cellGlyph renders a cell as one character, superimposing symbols when
+// multiple mechanisms were observed (the paper overlays glyphs; in ASCII we
+// pick the strongest and mark combinations with '*').
+func cellGlyph(c Cell, detection bool) byte {
+	if !c.Applicable {
+		return '.'
+	}
+	if detection {
+		levels := c.Detection.Levels()
+		switch len(levels) {
+		case 0:
+			return 'o' // applicable but DZero: fault not detected
+		case 1:
+			return levels[0].Symbol()
+		default:
+			return '*'
+		}
+	}
+	levels := c.Recovery.Levels()
+	switch len(levels) {
+	case 0:
+		return 'o' // applicable but RZero: no recovery action
+	case 1:
+		return levels[0].Symbol()
+	default:
+		return '*'
+	}
+}
+
+// Render draws the matrix as ASCII art in the style of the paper's
+// Figure 2/3. Two panels are emitted: detection then recovery. Legend:
+//
+//	.  not applicable (workload does not access the block type)
+//	o  applicable but DZero/RZero (fault silently ignored)
+//	-  DErrorCode / RPropagate
+//	|  DSanity / RStop
+//	\  DRedundancy / RRedundancy
+//	/  RRetry     g RGuess    r RRepair    m RRemap
+//	*  multiple mechanisms superimposed
+func (m *Matrix) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s under %s\n", m.FS, m.Fault)
+	for _, detection := range []bool{true, false} {
+		if detection {
+			b.WriteString("Detection:\n")
+		} else {
+			b.WriteString("Recovery:\n")
+		}
+		width := 0
+		for _, blk := range m.Blocks {
+			if len(blk) > width {
+				width = len(blk)
+			}
+		}
+		fmt.Fprintf(&b, "%*s ", width, "")
+		for _, w := range m.Workloads {
+			b.WriteString(w[:1])
+		}
+		b.WriteByte('\n')
+		for bi, blk := range m.Blocks {
+			fmt.Fprintf(&b, "%*s ", width, string(blk))
+			for wi := range m.Workloads {
+				b.WriteByte(cellGlyph(m.Cells[bi][wi], detection))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// TechniqueCounts tallies, across an entire set of matrices for one file
+// system, how often each detection and recovery technique was observed.
+// This is the raw material for the paper's Table 5 check-mark summary.
+type TechniqueCounts struct {
+	FS        string
+	Detection [numDetectionLevels]int
+	Recovery  [numRecoveryLevels]int
+	// Applicable is the number of applicable scenarios considered.
+	Applicable int
+}
+
+// Tally accumulates the matrix's cells into the counts.
+func (t *TechniqueCounts) Tally(m *Matrix) {
+	for _, row := range m.Cells {
+		for _, c := range row {
+			if !c.Applicable {
+				continue
+			}
+			t.Applicable++
+			if c.Detection.Empty() {
+				t.Detection[DZero]++
+			}
+			for _, d := range c.Detection.Levels() {
+				t.Detection[d]++
+			}
+			if c.Recovery.Empty() {
+				t.Recovery[RZero]++
+			}
+			for _, r := range c.Recovery.Levels() {
+				t.Recovery[r]++
+			}
+		}
+	}
+}
+
+// checks converts a frequency into the paper's relative check-mark scale.
+func checks(n, total int) string {
+	if n == 0 || total == 0 {
+		return ""
+	}
+	frac := float64(n) / float64(total)
+	switch {
+	case frac >= 0.5:
+		return "vvvv"
+	case frac >= 0.25:
+		return "vvv"
+	case frac >= 0.10:
+		return "vv"
+	default:
+		return "v"
+	}
+}
+
+// RenderTable5 renders a Table 5-style summary ("v" marks standing in for
+// the paper's check marks; more marks mean higher relative frequency).
+func RenderTable5(counts []TechniqueCounts) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", "Level")
+	for _, c := range counts {
+		fmt.Fprintf(&b, "%-10s", c.FS)
+	}
+	b.WriteByte('\n')
+	for d := DZero; int(d) < numDetectionLevels; d++ {
+		fmt.Fprintf(&b, "%-14s", d.String())
+		for _, c := range counts {
+			fmt.Fprintf(&b, "%-10s", checks(c.Detection[d], c.Applicable))
+		}
+		b.WriteByte('\n')
+	}
+	for r := RZero; int(r) < numRecoveryLevels; r++ {
+		fmt.Fprintf(&b, "%-14s", r.String())
+		for _, c := range counts {
+			fmt.Fprintf(&b, "%-10s", checks(c.Recovery[r], c.Applicable))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

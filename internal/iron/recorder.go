@@ -1,0 +1,140 @@
+package iron
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Event is one detection or recovery action taken by a file system while
+// servicing an operation, attributed to the block type involved.
+type Event struct {
+	// Block is the type of on-disk structure the action concerned.
+	Block BlockType
+	// Detection is set (non-DZero) if this event records a detection.
+	Detection DetectionLevel
+	// Recovery is set (non-RZero) if this event records a recovery.
+	Recovery RecoveryLevel
+	// Detail is an optional free-form explanation ("magic mismatch",
+	// "replica read", ...), used in reports.
+	Detail string
+}
+
+// Recorder accumulates the detection and recovery events a file system
+// performs. Fingerprinting installs a fresh Recorder per experiment; file
+// systems report into it from their failure-handling paths.
+//
+// A nil *Recorder is valid and discards all events, so production mounts
+// pay nothing.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Detect records that the file system detected a problem with a block of
+// the given type using the given technique.
+func (r *Recorder) Detect(level DetectionLevel, block BlockType, detail string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = append(r.events, Event{Block: block, Detection: level, Detail: detail})
+	r.mu.Unlock()
+}
+
+// Recover records that the file system applied the given recovery technique
+// for a block of the given type.
+func (r *Recorder) Recover(level RecoveryLevel, block BlockType, detail string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = append(r.events, Event{Block: block, Recovery: level, Detail: detail})
+	r.mu.Unlock()
+}
+
+// Events returns a copy of all recorded events in order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Reset discards all recorded events.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = r.events[:0]
+	r.mu.Unlock()
+}
+
+// Detections aggregates the recorded detection events into a set,
+// regardless of block type.
+func (r *Recorder) Detections() DetectionSet {
+	var s DetectionSet
+	for _, e := range r.Events() {
+		if e.Detection != DZero {
+			s.Add(e.Detection)
+		}
+	}
+	return s
+}
+
+// Recoveries aggregates the recorded recovery events into a set,
+// regardless of block type.
+func (r *Recorder) Recoveries() RecoverySet {
+	var s RecoverySet
+	for _, e := range r.Events() {
+		if e.Recovery != RZero {
+			s.Add(e.Recovery)
+		}
+	}
+	return s
+}
+
+// Summary returns a human-readable, deterministic digest of the recorded
+// events grouped by block type, useful in test failures and reports.
+func (r *Recorder) Summary() string {
+	type key struct {
+		block BlockType
+		what  string
+	}
+	counts := map[key]int{}
+	for _, e := range r.Events() {
+		var what string
+		if e.Detection != DZero {
+			what = e.Detection.String()
+		} else if e.Recovery != RZero {
+			what = e.Recovery.String()
+		} else {
+			continue
+		}
+		counts[key{e.Block, what}]++
+	}
+	keys := make([]key, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].block != keys[j].block {
+			return keys[i].block < keys[j].block
+		}
+		return keys[i].what < keys[j].what
+	})
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s: %s x%d\n", k.block, k.what, counts[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,84 @@
+package vfs
+
+import "sync"
+
+// HealthState is the RStop state machine a file system moves through as it
+// reacts to faults: Healthy → ReadOnly (journal abort / remount read-only)
+// or Panicked (simulated kernel panic, as ReiserFS does on write failure).
+type HealthState int
+
+const (
+	// Healthy: normal read-write operation.
+	Healthy HealthState = iota
+	// ReadOnly: updates are refused with ErrReadOnly; reads continue.
+	ReadOnly
+	// Panicked: all operations are refused with ErrPanicked. In the
+	// paper this is a machine crash; we model it as a terminal state so
+	// the fingerprinting harness can observe it without dying.
+	Panicked
+)
+
+// String names the state.
+func (s HealthState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case ReadOnly:
+		return "read-only"
+	case Panicked:
+		return "panicked"
+	}
+	return "unknown"
+}
+
+// Health tracks a file system's RStop state. The zero value is Healthy.
+// It is safe for concurrent use.
+type Health struct {
+	mu    sync.Mutex
+	state HealthState
+}
+
+// State returns the current state.
+func (h *Health) State() HealthState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state
+}
+
+// Degrade moves to a strictly worse state; moving "up" is ignored (a
+// panicked file system cannot become merely read-only).
+func (h *Health) Degrade(to HealthState) {
+	h.mu.Lock()
+	if to > h.state {
+		h.state = to
+	}
+	h.mu.Unlock()
+}
+
+// Reset returns the state to Healthy (used on fresh mounts).
+func (h *Health) Reset() {
+	h.mu.Lock()
+	h.state = Healthy
+	h.mu.Unlock()
+}
+
+// CheckWrite returns the error that should abort an update operation in
+// the current state, or nil when writes are allowed.
+func (h *Health) CheckWrite() error {
+	switch h.State() {
+	case ReadOnly:
+		return ErrReadOnly
+	case Panicked:
+		return ErrPanicked
+	}
+	return nil
+}
+
+// CheckRead returns the error that should abort a read operation in the
+// current state, or nil when reads are allowed.
+func (h *Health) CheckRead() error {
+	if h.State() == Panicked {
+		return ErrPanicked
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package vfs
+
+import "strings"
+
+// MaxNameLen is the maximum length of a single path component, shared by
+// all file systems in this repository.
+const MaxNameLen = 255
+
+// SplitPath normalizes an absolute slash-separated path into its
+// components. It rejects relative paths, empty components, and over-long
+// names; "." components are dropped and ".." is resolved lexically.
+// The root path "/" yields an empty component list.
+func SplitPath(path string) ([]string, error) {
+	if path == "" || path[0] != '/' {
+		return nil, ErrInval
+	}
+	var parts []string
+	for _, c := range strings.Split(path, "/") {
+		switch c {
+		case "", ".":
+			continue
+		case "..":
+			if len(parts) > 0 {
+				parts = parts[:len(parts)-1]
+			}
+		default:
+			if len(c) > MaxNameLen {
+				return nil, ErrNameTooLong
+			}
+			parts = append(parts, c)
+		}
+	}
+	return parts, nil
+}
+
+// SplitDir splits a path into its parent's components and the final name.
+// The root itself has no final name and returns ErrInval.
+func SplitDir(path string) (dir []string, name string, err error) {
+	parts, err := SplitPath(path)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(parts) == 0 {
+		return nil, "", ErrInval
+	}
+	return parts[:len(parts)-1], parts[len(parts)-1], nil
+}
+
+// Base returns the final component of a path, or "/" for the root.
+func Base(path string) string {
+	parts, err := SplitPath(path)
+	if err != nil || len(parts) == 0 {
+		return "/"
+	}
+	return parts[len(parts)-1]
+}
+
+// Join concatenates components into an absolute path.
+func Join(parts ...string) string {
+	return "/" + strings.Join(parts, "/")
+}

@@ -1,0 +1,145 @@
+// Package vfs is the generic file-system layer of the reproduction: the
+// common interface (the "Generic File System" box in Figure 1 of the
+// paper) that all five file systems implement, plus shared error codes,
+// path utilities, and the health state machine used to model RStop
+// recovery (read-only remount, panic).
+//
+// The API is path-based rather than handle-based; each call corresponds to
+// one of the POSIX singlets the paper's workload suite exercises (Table 3).
+package vfs
+
+import "errors"
+
+// Sentinel errors returned by file systems, mirroring errno values.
+var (
+	ErrNotExist    = errors.New("vfs: no such file or directory")           // ENOENT
+	ErrExist       = errors.New("vfs: file exists")                         // EEXIST
+	ErrIsDir       = errors.New("vfs: is a directory")                      // EISDIR
+	ErrNotDir      = errors.New("vfs: not a directory")                     // ENOTDIR
+	ErrNotEmpty    = errors.New("vfs: directory not empty")                 // ENOTEMPTY
+	ErrNoSpace     = errors.New("vfs: no space left on device")             // ENOSPC
+	ErrIO          = errors.New("vfs: input/output error")                  // EIO
+	ErrReadOnly    = errors.New("vfs: read-only file system")               // EROFS
+	ErrInval       = errors.New("vfs: invalid argument")                    // EINVAL
+	ErrNameTooLong = errors.New("vfs: file name too long")                  // ENAMETOOLONG
+	ErrTooManyLink = errors.New("vfs: too many links")                      // EMLINK
+	ErrNotMounted  = errors.New("vfs: file system not mounted")             //
+	ErrPanicked    = errors.New("vfs: file system panicked (system crash)") //
+	ErrCorrupt     = errors.New("vfs: file system structure corrupt")       //
+	ErrNoInodes    = errors.New("vfs: out of inodes")                       //
+)
+
+// FileType is the type of a file system object.
+type FileType int
+
+const (
+	// TypeRegular is an ordinary file.
+	TypeRegular FileType = iota
+	// TypeDirectory is a directory.
+	TypeDirectory
+	// TypeSymlink is a symbolic link.
+	TypeSymlink
+)
+
+// String returns "file", "dir", or "symlink".
+func (t FileType) String() string {
+	switch t {
+	case TypeRegular:
+		return "file"
+	case TypeDirectory:
+		return "dir"
+	case TypeSymlink:
+		return "symlink"
+	}
+	return "unknown"
+}
+
+// FileInfo describes a file, as returned by Stat and Lstat.
+type FileInfo struct {
+	Ino   uint32
+	Type  FileType
+	Size  int64
+	Links uint16
+	Mode  uint16
+	UID   uint32
+	GID   uint32
+	Atime int64
+	Mtime int64
+	Ctime int64
+}
+
+// DirEntry is one directory entry, as returned by ReadDir.
+type DirEntry struct {
+	Name string
+	Ino  uint32
+	Type FileType
+}
+
+// StatFS describes file-system capacity, as returned by Statfs.
+type StatFS struct {
+	BlockSize   int
+	TotalBlocks int64
+	FreeBlocks  int64
+	TotalInodes int64
+	FreeInodes  int64
+}
+
+// FileSystem is the interface every file system in this repository
+// implements. All paths are absolute, slash-separated. Every method may
+// return ErrReadOnly once the file system has stopped itself (RStop), or
+// ErrPanicked after a simulated panic.
+type FileSystem interface {
+	// Mount attaches the file system, running journal recovery if the
+	// image was not cleanly unmounted.
+	Mount() error
+	// Unmount syncs and cleanly detaches the file system.
+	Unmount() error
+	// Sync flushes all dirty state (committing the running transaction).
+	Sync() error
+	// Statfs reports capacity information.
+	Statfs() (StatFS, error)
+
+	// Create makes an empty regular file.
+	Create(path string, mode uint16) error
+	// Open checks that the path resolves to an existing file.
+	Open(path string) error
+	// Read reads up to len(buf) bytes at off, returning the count.
+	Read(path string, off int64, buf []byte) (int, error)
+	// Write writes data at off (extending the file as needed).
+	Write(path string, off int64, data []byte) (int, error)
+	// Truncate sets the file size, freeing or zero-filling blocks.
+	Truncate(path string, size int64) error
+	// Fsync commits the file's data and metadata to disk.
+	Fsync(path string) error
+
+	// Mkdir creates a directory.
+	Mkdir(path string, mode uint16) error
+	// Rmdir removes an empty directory.
+	Rmdir(path string) error
+	// Unlink removes a file's directory entry (and the file when the
+	// link count reaches zero).
+	Unlink(path string) error
+	// Link creates a hard link to an existing file.
+	Link(oldpath, newpath string) error
+	// Symlink creates a symbolic link containing target.
+	Symlink(target, linkpath string) error
+	// Readlink returns a symbolic link's target.
+	Readlink(path string) (string, error)
+	// Rename moves a file or directory.
+	Rename(oldpath, newpath string) error
+	// ReadDir lists a directory (the getdirentries singlet).
+	ReadDir(path string) ([]DirEntry, error)
+
+	// Stat returns file metadata, following symlinks.
+	Stat(path string) (FileInfo, error)
+	// Lstat returns file metadata without following symlinks.
+	Lstat(path string) (FileInfo, error)
+	// Access checks that the path is reachable (the access singlet).
+	Access(path string) error
+	// Chmod sets the permission bits.
+	Chmod(path string, mode uint16) error
+	// Chown sets the owner.
+	Chown(path string, uid, gid uint32) error
+	// Utimes sets the access and modification times.
+	Utimes(path string, atime, mtime int64) error
+}

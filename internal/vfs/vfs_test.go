@@ -1,0 +1,119 @@
+package vfs
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitPath(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+		err  bool
+	}{
+		{"/", []string{}, false},
+		{"/a", []string{"a"}, false},
+		{"/a/b/c", []string{"a", "b", "c"}, false},
+		{"/a//b/", []string{"a", "b"}, false},
+		{"/a/./b", []string{"a", "b"}, false},
+		{"/a/../b", []string{"b"}, false},
+		{"/../..", []string{}, false},
+		{"", nil, true},
+		{"relative/path", nil, true},
+	}
+	for _, c := range cases {
+		got, err := SplitPath(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("SplitPath(%q) err = %v", c.in, err)
+			continue
+		}
+		if err == nil && strings.Join(got, "|") != strings.Join(c.want, "|") {
+			t.Errorf("SplitPath(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	long := "/" + strings.Repeat("x", MaxNameLen+1)
+	if _, err := SplitPath(long); err != ErrNameTooLong {
+		t.Errorf("overlong name = %v", err)
+	}
+}
+
+func TestSplitDir(t *testing.T) {
+	dir, name, err := SplitDir("/a/b/c")
+	if err != nil || name != "c" || strings.Join(dir, "/") != "a/b" {
+		t.Fatalf("SplitDir = %v %q %v", dir, name, err)
+	}
+	if _, _, err := SplitDir("/"); err == nil {
+		t.Error("SplitDir(/) did not fail")
+	}
+}
+
+func TestBaseAndJoin(t *testing.T) {
+	if Base("/a/b") != "b" || Base("/") != "/" {
+		t.Error("Base broken")
+	}
+	if Join("a", "b") != "/a/b" {
+		t.Error("Join broken")
+	}
+}
+
+// TestQuickSplitInvariants: for any input, the result never contains "..",
+// ".", or empty components.
+func TestQuickSplitInvariants(t *testing.T) {
+	f := func(raw string) bool {
+		parts, err := SplitPath("/" + raw)
+		if err != nil {
+			return true // rejecting is fine
+		}
+		for _, p := range parts {
+			if p == "" || p == "." || p == ".." || strings.Contains(p, "/") {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHealthStateMachine(t *testing.T) {
+	var h Health
+	if h.State() != Healthy || h.CheckWrite() != nil || h.CheckRead() != nil {
+		t.Fatal("zero value not healthy")
+	}
+	h.Degrade(ReadOnly)
+	if h.CheckWrite() != ErrReadOnly || h.CheckRead() != nil {
+		t.Fatal("read-only semantics wrong")
+	}
+	h.Degrade(Panicked)
+	if h.CheckWrite() != ErrPanicked || h.CheckRead() != ErrPanicked {
+		t.Fatal("panicked semantics wrong")
+	}
+	// Degrading "up" is ignored.
+	h.Degrade(ReadOnly)
+	if h.State() != Panicked {
+		t.Fatal("panicked state weakened")
+	}
+	h.Reset()
+	if h.State() != Healthy {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for s, want := range map[HealthState]string{
+		Healthy: "healthy", ReadOnly: "read-only", Panicked: "panicked",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+	for ft, want := range map[FileType]string{
+		TypeRegular: "file", TypeDirectory: "dir", TypeSymlink: "symlink",
+	} {
+		if ft.String() != want {
+			t.Errorf("FileType %d = %q", ft, ft.String())
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package workload
+
+import "testing"
+
+func TestTable6Subset(t *testing.T) {
+	vs := Variants()
+	subset := []Variant{vs[0], vs[1], vs[2], vs[3], vs[4], vs[5], vs[len(vs)-1]}
+	tb, err := RunTable6(subset, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tb.Render())
+}
+
+func TestSpaceStudy(t *testing.T) {
+	for _, p := range Profiles() {
+		rep, err := RunSpaceStudy(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		t.Logf("%s: used=%d cksum=%.1f%% replica=%.1f%% parity=%.1f%%",
+			p.Name, rep.UsedBlocks, rep.CksumPct(), rep.ReplicaPct(), rep.ParityPct())
+	}
+}

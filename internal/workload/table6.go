@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"ironfs/internal/disk"
+	"ironfs/internal/fs/ext3"
+	"ironfs/internal/fs/ixt3"
+	"ironfs/internal/vfs"
+)
+
+// Table 6 harness: run every workload under every combination of the five
+// IRON mechanisms (Mc, Mr, Dc, Dp, Tc), normalized to stock ext3.
+
+// benchDiskBlocks sizes the benchmark device (64 MiB).
+const benchDiskBlocks = 16384
+
+// Variant is one row of Table 6.
+type Variant struct {
+	// Feats selects the IRON mechanisms; the zero value is the ext3
+	// baseline row.
+	Feats ixt3.Features
+	// Baseline marks row 0 (stock ext3, bugs and all).
+	Baseline bool
+}
+
+// Label renders the row label in the paper's notation.
+func (v Variant) Label() string {
+	if v.Baseline {
+		return "(Baseline: ext3)"
+	}
+	return v.Feats.Label()
+}
+
+// Variants returns the 32 rows of Table 6 in the paper's order: the
+// baseline, then every non-empty combination ordered by mechanism count
+// and by the paper's column order (Mc, Mr, Dc, Dp, Tc).
+func Variants() []Variant {
+	flagOrder := []func(*ixt3.Features) *bool{
+		func(f *ixt3.Features) *bool { return &f.Mc },
+		func(f *ixt3.Features) *bool { return &f.Mr },
+		func(f *ixt3.Features) *bool { return &f.Dc },
+		func(f *ixt3.Features) *bool { return &f.Dp },
+		func(f *ixt3.Features) *bool { return &f.Tc },
+	}
+	var out []Variant
+	out = append(out, Variant{Baseline: true})
+	for count := 1; count <= 5; count++ {
+		var rec func(start int, cur ixt3.Features, left int)
+		rec = func(start int, cur ixt3.Features, left int) {
+			if left == 0 {
+				out = append(out, Variant{Feats: cur})
+				return
+			}
+			for i := start; i <= len(flagOrder)-left; i++ {
+				next := cur
+				*flagOrder[i](&next) = true
+				rec(i+1, next, left-1)
+			}
+		}
+		rec(0, ixt3.Features{}, count)
+	}
+	return out
+}
+
+// Cell is one measurement of Table 6.
+type Cell struct {
+	SimTime disk.Duration
+	// Relative is SimTime normalized to the baseline row (1.00 = parity;
+	// >1 slowdown, <1 speedup).
+	Relative float64
+}
+
+// Row is one complete row of Table 6.
+type Row struct {
+	Variant Variant
+	Cells   map[string]Cell // keyed by benchmark name
+}
+
+// Table6 is the full result.
+type Table6 struct {
+	Benchmarks []string
+	Rows       []Row
+}
+
+// newBenchFS formats a fresh simulated disk and mounts the variant.
+func newBenchFS(v Variant) (vfs.FileSystem, *disk.Clock, error) {
+	clk := disk.NewClock()
+	d, err := disk.New(benchDiskBlocks, disk.DefaultGeometry(), clk)
+	if err != nil {
+		return nil, nil, err
+	}
+	var fs vfs.FileSystem
+	if v.Baseline {
+		if err := ext3.Mkfs(d, ext3.Options{}); err != nil {
+			return nil, nil, err
+		}
+		fs = ext3.New(d, ext3.Options{}, nil)
+	} else {
+		if err := ixt3.Mkfs(d, v.Feats); err != nil {
+			return nil, nil, err
+		}
+		fs = ixt3.New(d, v.Feats, nil)
+	}
+	if err := fs.Mount(); err != nil {
+		return nil, nil, err
+	}
+	return fs, clk, nil
+}
+
+// RunVariant measures one (variant, benchmark) cell.
+func RunVariant(v Variant, b Benchmark) (Report, error) {
+	fs, clk, err := newBenchFS(v)
+	if err != nil {
+		return Report{}, fmt.Errorf("table6 %s: %w", v.Label(), err)
+	}
+	rep, err := b.Run(fs, clk)
+	if err != nil {
+		return Report{}, fmt.Errorf("table6 %s/%s: %w", v.Label(), b.Name, err)
+	}
+	if err := fs.Unmount(); err != nil {
+		return Report{}, fmt.Errorf("table6 %s/%s unmount: %w", v.Label(), b.Name, err)
+	}
+	return rep, nil
+}
+
+// RunTable6 executes the full sweep: every variant under every benchmark.
+func RunTable6(variants []Variant, benches []Benchmark) (*Table6, error) {
+	if variants == nil {
+		variants = Variants()
+	}
+	if benches == nil {
+		benches = Benchmarks()
+	}
+	t := &Table6{}
+	for _, b := range benches {
+		t.Benchmarks = append(t.Benchmarks, b.Name)
+	}
+	base := map[string]disk.Duration{}
+	for vi, v := range variants {
+		row := Row{Variant: v, Cells: map[string]Cell{}}
+		for _, b := range benches {
+			rep, err := RunVariant(v, b)
+			if err != nil {
+				return nil, err
+			}
+			c := Cell{SimTime: rep.SimTime}
+			if vi == 0 {
+				base[b.Name] = rep.SimTime
+			}
+			if bt := base[b.Name]; bt > 0 {
+				c.Relative = float64(rep.SimTime) / float64(bt)
+			}
+			row.Cells[b.Name] = c
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Render draws the table in the paper's format: one row per variant, the
+// relative slowdown per workload (speedups in [brackets], as the paper
+// marks them).
+func (t *Table6) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-18s", "#", "Variant")
+	for _, name := range t.Benchmarks {
+		fmt.Fprintf(&b, "%8s", name)
+	}
+	b.WriteByte('\n')
+	for i, row := range t.Rows {
+		fmt.Fprintf(&b, "%-4d %-18s", i, row.Variant.Label())
+		for _, name := range t.Benchmarks {
+			rel := row.Cells[name].Relative
+			switch {
+			case rel < 0.995:
+				fmt.Fprintf(&b, "  [%4.2f]", rel)
+			default:
+				fmt.Fprintf(&b, "%8.2f", rel)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
