@@ -108,6 +108,9 @@ func remountStat(fs vfs.FileSystem) (vfs.StatFS, error) {
 	if err := fs.Mount(); err != nil {
 		return vfs.StatFS{}, err
 	}
-	defer fs.Unmount()
-	return fs.Statfs()
+	st, err := fs.Statfs()
+	if uerr := fs.Unmount(); err == nil {
+		err = uerr
+	}
+	return st, err
 }

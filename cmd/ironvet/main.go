@@ -1,0 +1,94 @@
+// Command ironvet is the repository's error-propagation static analyzer.
+//
+// Usage:
+//
+//	go run ./cmd/ironvet ./...        # analyze the module, exit 1 on findings
+//	go run ./cmd/ironvet -policies    # print the //iron:policy table
+//
+// ironvet walks every non-test package of the module and enforces the
+// error-propagation discipline described in docs/ANALYSIS.md: disk errors
+// must be handled, propagated, or explicitly whitelisted as one of the
+// paper's deliberate failure policies via //iron:policy. It also checks
+// that no function holds a sync.Mutex across direct device I/O without a
+// //iron:lockok waiver. Package patterns are accepted for familiarity but
+// the whole module is always analyzed; the analysis is cheap.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ironfs/internal/analysis"
+)
+
+func main() {
+	policies := flag.Bool("policies", false, "print the //iron:policy documentation table and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ironvet [-policies] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ironvet:", err)
+		os.Exit(2)
+	}
+	res, err := analysis.Run(root, analysis.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ironvet:", err)
+		os.Exit(2)
+	}
+
+	if *policies {
+		printPolicies(res, root)
+		return
+	}
+
+	for _, f := range res.Findings {
+		rel := f
+		if r, err := filepath.Rel(root, f.Pos.Filename); err == nil {
+			rel.Pos.Filename = r
+		}
+		fmt.Println(rel)
+	}
+	if n := len(res.Findings); n > 0 {
+		fmt.Fprintf(os.Stderr, "ironvet: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks upward from the working directory to the enclosing
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// printPolicies renders the machine-readable annotation table: every
+// deliberate error drop, which file system and paper section it
+// reproduces, and where it lives.
+func printPolicies(res *analysis.Result, root string) {
+	fmt.Printf("%-8s %-14s %-34s %s\n", "FS", "PAPER-REF", "LOCATION", "NOTE")
+	for _, p := range res.Policies {
+		loc := p.Pos.Filename
+		if r, err := filepath.Rel(root, loc); err == nil {
+			loc = r
+		}
+		fmt.Printf("%-8s %-14s %-34s %s\n", p.FS, p.Ref, fmt.Sprintf("%s:%d", loc, p.Pos.Line), p.Note)
+	}
+}

@@ -1,0 +1,150 @@
+// Package analysis implements ironvet, the repository's error-propagation
+// static analyzer.
+//
+// The IRON paper's central observation (§5) is that commodity file systems
+// silently drop disk error returns. This repository *reproduces* those
+// buggy policies on purpose, which means a conventional errcheck-style
+// lint cannot distinguish a faithful "ext3 ignores write errors" emulation
+// from an accidental bug introduced while growing the code. ironvet closes
+// that gap with three analyzers:
+//
+//   - errprop: flags any discarded error whose callee (transitively)
+//     returns an error originating from the block-device layer
+//     (disk.Device / *disk.Disk and everything built on them: caches,
+//     journals, file-system ops). Discards covered: assignment to the
+//     blank identifier, a call used as a bare statement, go/defer
+//     statements, and straight-line overwrites of an error variable
+//     before any use.
+//
+//   - policy: validates //iron:policy directives. A directive whitelists
+//     one *deliberate* error drop and doubles as machine-readable
+//     documentation tying the drop to the paper's Figure-2 / §5 policy
+//     fingerprints. ironvet errors on malformed directives and on stale
+//     directives that no longer cover a drop.
+//
+//   - lockcheck: flags sync.Mutex/RWMutex held across direct
+//     Device.ReadBlock/WriteBlock/WriteBatch calls in non-test code,
+//     guarding future concurrency work. Intentional cases (mount paths,
+//     the scrubber, the fault-injection wrapper) carry //iron:lockok.
+//
+// Everything is built on the standard library only (go/ast, go/parser,
+// go/types); there is no x/tools dependency, matching go.mod.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one analyzer diagnostic.
+type Finding struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Analyzer is "errprop", "policy", or "lockcheck".
+	Analyzer string
+	// Message describes the problem.
+	Message string
+}
+
+// String formats the finding like a compiler diagnostic.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Config parameterizes the analyzers so that the test corpus can run them
+// against a miniature device package instead of the real one.
+type Config struct {
+	// DevicePkg is the import path of the block-device package.
+	DevicePkg string
+	// DeviceIface is the name of the device interface inside DevicePkg;
+	// its error-returning methods seed the taint computation and define
+	// the I/O calls lockcheck guards.
+	DeviceIface string
+	// SeedTypes are named types inside DevicePkg whose error-returning
+	// methods are also error sources (the concrete disk, including its
+	// raw debug port).
+	SeedTypes []string
+	// ExcludeMethods are method names never treated as error sources
+	// (Close: "defer dev.Close()" is conventional and its error carries
+	// no I/O payload the paper cares about).
+	ExcludeMethods []string
+	// IOMethods are the device methods lockcheck refuses to see under a
+	// held mutex.
+	IOMethods []string
+	// PolicyFS lists the legal <fs> names in //iron:policy directives.
+	PolicyFS []string
+}
+
+// DefaultConfig returns the configuration for this module.
+func DefaultConfig() Config {
+	return Config{
+		DevicePkg:      "ironfs/internal/disk",
+		DeviceIface:    "Device",
+		SeedTypes:      []string{"Disk"},
+		ExcludeMethods: []string{"Close"},
+		IOMethods:      []string{"ReadBlock", "WriteBlock", "WriteBatch"},
+		PolicyFS:       []string{"ext3", "ixt3", "jfs", "reiser", "ntfs", "harness"},
+	}
+}
+
+// Result is a full ironvet run over one source tree.
+type Result struct {
+	// Findings are the surviving diagnostics, sorted by position.
+	Findings []Finding
+	// Policies are the successfully parsed and matched //iron:policy
+	// directives, for the -policies documentation table.
+	Policies []*Directive
+}
+
+// Run loads the source tree rooted at root (a module root containing
+// go.mod, or a bare src tree for the test corpus) and applies every
+// analyzer. Load or type errors are returned as err; analyzer diagnostics
+// land in Result.Findings.
+func Run(root string, cfg Config) (*Result, error) {
+	mod, err := load(root)
+	if err != nil {
+		return nil, err
+	}
+	return runOn(mod, cfg)
+}
+
+func runOn(mod *module, cfg Config) (*Result, error) {
+	dirs := collectDirectives(mod, cfg)
+	taint, err := computeTaint(mod, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var findings []Finding
+	findings = append(findings, runErrprop(mod, cfg, taint, dirs)...)
+	findings = append(findings, runLockcheck(mod, cfg, dirs)...)
+	findings = append(findings, dirs.validate()...)
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+
+	var pols []*Directive
+	for _, d := range dirs.all {
+		// Stale directives are findings, not documentation.
+		if d.Kind == dirPolicy && d.Err == "" && d.Used {
+			pols = append(pols, d)
+		}
+	}
+	sort.Slice(pols, func(i, j int) bool {
+		a, b := pols[i].Pos, pols[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return &Result{Findings: findings, Policies: pols}, nil
+}

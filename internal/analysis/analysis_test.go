@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// corpusConfig retargets the analyzers at the miniature devkit package in
+// testdata/src.
+func corpusConfig() Config {
+	return Config{
+		DevicePkg:      "devkit",
+		DeviceIface:    "Device",
+		SeedTypes:      []string{"Disk"},
+		ExcludeMethods: []string{"Close"},
+		IOMethods:      []string{"ReadBlock", "WriteBlock", "WriteBatch"},
+		PolicyFS:       []string{"ext3", "harness"},
+	}
+}
+
+var corpus struct {
+	once sync.Once
+	res  *Result
+	err  error
+}
+
+// corpusResult runs the full analysis over testdata/src once per test
+// binary.
+func corpusResult(t *testing.T) *Result {
+	t.Helper()
+	corpus.once.Do(func() {
+		corpus.res, corpus.err = Run(filepath.Join("testdata", "src"), corpusConfig())
+	})
+	if corpus.err != nil {
+		t.Fatalf("loading corpus: %v", corpus.err)
+	}
+	return corpus.res
+}
+
+// golden compares got against testdata/<name>.golden, rewriting the file
+// under -update.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("mismatch with %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// findingsFor renders the corpus findings of one analyzer, one per line,
+// with corpus-root-relative paths.
+func findingsFor(t *testing.T, analyzer string) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, f := range corpusResult(t).Findings {
+		if f.Analyzer != analyzer {
+			continue
+		}
+		rel := f
+		if r, err := filepath.Rel(root, f.Pos.Filename); err == nil {
+			rel.Pos.Filename = filepath.ToSlash(r)
+		}
+		fmt.Fprintln(&b, rel)
+	}
+	return b.String()
+}
+
+func TestErrpropGolden(t *testing.T)   { golden(t, "errprop", findingsFor(t, "errprop")) }
+func TestPolicyGolden(t *testing.T)    { golden(t, "policy", findingsFor(t, "policy")) }
+func TestLockcheckGolden(t *testing.T) { golden(t, "lockcheck", findingsFor(t, "lockcheck")) }
+
+// TestPoliciesTable pins the -policies documentation table for the corpus:
+// only well-formed, non-stale directives appear.
+func TestPoliciesTable(t *testing.T) {
+	var b strings.Builder
+	for _, p := range corpusResult(t).Policies {
+		fmt.Fprintf(&b, "%s %s %s\n", p.FS, p.Ref, p.Note)
+	}
+	golden(t, "policies", b.String())
+}
+
+// TestModuleClean is the self-check: ironvet must come up empty on the live
+// module, and the policy table must document the reproduced paper bugs.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module; skipped in -short mode")
+	}
+	res, err := Run(filepath.Join("..", ".."), DefaultConfig())
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, f := range res.Findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+	if len(res.Policies) == 0 {
+		t.Error("no //iron:policy directives found; the deliberate-drop whitelist should not be empty")
+	}
+}

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Directive kinds.
+const (
+	dirPolicy = "policy"
+	dirLockOK = "lockok"
+)
+
+// Directive is one parsed //iron: comment.
+//
+// Grammar:
+//
+//	//iron:policy <fs> <paper-ref> <note...>
+//	//iron:lockok <note...>
+//
+// <fs> is one of Config.PolicyFS. <paper-ref> is a section reference like
+// §5.3, optionally suffixed with the Figure-2 taxonomy level the drop
+// reproduces, e.g. §5.3:RZero. <note> is required free text.
+type Directive struct {
+	Kind string
+	FS   string // policy only
+	Ref  string // policy only: §N[.N...][:Level]
+	Note string
+	Pos  token.Position
+	// Used is set when the directive suppressed at least one finding.
+	Used bool
+	// Err is the malformed-ness explanation, empty when well-formed.
+	Err string
+}
+
+// refRE matches a paper reference with an optional taxonomy level.
+var refRE = regexp.MustCompile(`^§[0-9]+(\.[0-9]+)*(:(D|R)[A-Za-z]+)?$`)
+
+// taxonomy is the set of legal Figure-2 levels for the :Level suffix,
+// mirroring the iron package's names.
+var taxonomy = map[string]bool{
+	"DZero": true, "DErrorCode": true, "DSanity": true, "DRedundancy": true,
+	"RZero": true, "RPropagate": true, "RStop": true, "RGuess": true,
+	"RRetry": true, "RRepair": true, "RRemap": true, "RRedundancy": true,
+}
+
+// directiveSet indexes every directive in the tree by file and line.
+type directiveSet struct {
+	all []*Directive
+	// byLine maps filename -> line -> directive on that line.
+	byLine map[string]map[int]*Directive
+}
+
+// collectDirectives scans all file comments for //iron: directives.
+func collectDirectives(mod *module, cfg Config) *directiveSet {
+	legalFS := map[string]bool{}
+	for _, fs := range cfg.PolicyFS {
+		legalFS[fs] = true
+	}
+	ds := &directiveSet{byLine: map[string]map[int]*Directive{}}
+	for _, pi := range mod.pkgs {
+		for _, f := range pi.files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "//iron:")
+					if !ok {
+						continue
+					}
+					d := parseDirective(rest)
+					if d.Err == "" && d.Kind == dirPolicy && !legalFS[d.FS] {
+						d.Err = fmt.Sprintf("unknown file system %q, want one of %s", d.FS, strings.Join(cfg.PolicyFS, ", "))
+					}
+					d.Pos = mod.fset.Position(c.Pos())
+					ds.add(d)
+				}
+			}
+		}
+	}
+	return ds
+}
+
+func (ds *directiveSet) add(d *Directive) {
+	ds.all = append(ds.all, d)
+	lines := ds.byLine[d.Pos.Filename]
+	if lines == nil {
+		lines = map[int]*Directive{}
+		ds.byLine[d.Pos.Filename] = lines
+	}
+	lines[d.Pos.Line] = d
+}
+
+// parseDirective parses the text after "//iron:".
+func parseDirective(rest string) *Directive {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return &Directive{Kind: "?", Err: "missing directive name"}
+	}
+	switch fields[0] {
+	case dirPolicy:
+		d := &Directive{Kind: dirPolicy}
+		if len(fields) < 4 {
+			d.Err = "want //iron:policy <fs> <paper-ref> <note...>"
+			return d
+		}
+		d.FS, d.Ref = fields[1], fields[2]
+		d.Note = strings.Join(fields[3:], " ")
+		if !refRE.MatchString(d.Ref) {
+			d.Err = fmt.Sprintf("bad paper-ref %q, want §N[.N][:Level]", d.Ref)
+			return d
+		}
+		if _, level, ok := strings.Cut(d.Ref, ":"); ok && !taxonomy[level] {
+			d.Err = fmt.Sprintf("unknown Figure-2 taxonomy level %q", level)
+		}
+		return d
+	case dirLockOK:
+		d := &Directive{Kind: dirLockOK}
+		if len(fields) < 2 {
+			d.Err = "want //iron:lockok <note...>"
+			return d
+		}
+		d.Note = strings.Join(fields[1:], " ")
+		return d
+	default:
+		return &Directive{Kind: fields[0], Err: fmt.Sprintf("unknown directive iron:%s", fields[0])}
+	}
+}
+
+// suppress looks for a well-formed directive of the given kind on the
+// finding's line or the line directly above it, marks it used, and reports
+// whether the finding is covered.
+func (ds *directiveSet) suppress(kind string, pos token.Position) bool {
+	lines := ds.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, ln := range []int{pos.Line, pos.Line - 1} {
+		if d, ok := lines[ln]; ok && d.Kind == kind && d.Err == "" {
+			d.Used = true
+			return true
+		}
+	}
+	return false
+}
+
+// suppressFunc is suppress for function-granular lockok directives: the
+// directive may sit on, or directly above, the func declaration line.
+func (ds *directiveSet) suppressFunc(mod *module, fd *ast.FuncDecl) bool {
+	pos := mod.fset.Position(fd.Pos())
+	return ds.suppress(dirLockOK, pos)
+}
+
+// validate reports malformed and stale directives. It must run after the
+// analyzers, which mark directives used.
+func (ds *directiveSet) validate() []Finding {
+	var out []Finding
+	for _, d := range ds.all {
+		switch {
+		case d.Err != "":
+			out = append(out, Finding{Pos: d.Pos, Analyzer: dirPolicy,
+				Message: "malformed directive: " + d.Err})
+		case !d.Used && d.Kind == dirPolicy:
+			out = append(out, Finding{Pos: d.Pos, Analyzer: dirPolicy,
+				Message: "stale //iron:policy: no discarded device error on this line or the next"})
+		case !d.Used && d.Kind == dirLockOK:
+			out = append(out, Finding{Pos: d.Pos, Analyzer: "lockcheck",
+				Message: "stale //iron:lockok: no device I/O under a held mutex on this line, the next, or this function"})
+		}
+	}
+	return out
+}

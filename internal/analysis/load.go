@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// pkgInfo is one loaded, typechecked package.
+type pkgInfo struct {
+	path    string // import path
+	dir     string // absolute directory
+	files   []*ast.File
+	pkg     *types.Package
+	info    *types.Info
+	imports []string // module-internal import paths
+}
+
+// module is a fully typechecked source tree.
+type module struct {
+	fset   *token.FileSet
+	root   string
+	path   string // module path; "" for a bare src tree (test corpus)
+	pkgs   []*pkgInfo
+	byPath map[string]*pkgInfo
+}
+
+// load parses and typechecks every non-test package under root. root must
+// either contain a go.mod (normal operation) or be a bare directory of
+// package subdirectories (the test corpus). Test files (_test.go) and
+// testdata directories are skipped: the analyzers target production code,
+// and tests legitimately discard errors when provoking failures.
+func load(root string) (*module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	mod := &module{
+		fset:   token.NewFileSet(),
+		root:   root,
+		byPath: map[string]*pkgInfo{},
+	}
+	if data, err := os.ReadFile(filepath.Join(root, "go.mod")); err == nil {
+		mod.path = modulePath(string(data))
+		if mod.path == "" {
+			return nil, fmt.Errorf("analysis: cannot find module path in %s/go.mod", root)
+		}
+	}
+
+	if err := mod.discover(); err != nil {
+		return nil, err
+	}
+	if err := mod.typecheck(); err != nil {
+		return nil, err
+	}
+	return mod, nil
+}
+
+// modulePath extracts the module path from go.mod contents.
+func modulePath(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// discover walks the tree, parsing every directory that holds non-test Go
+// files into a pkgInfo.
+func (m *module) discover() error {
+	err := filepath.WalkDir(m.root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != m.root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		return m.parseDir(p)
+	})
+	if err != nil {
+		return err
+	}
+	sort.Slice(m.pkgs, func(i, j int) bool { return m.pkgs[i].path < m.pkgs[j].path })
+	return nil
+}
+
+// parseDir parses the non-test Go files of one directory, if any.
+func (m *module) parseDir(dir string) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(m.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil
+	}
+	rel, err := filepath.Rel(m.root, dir)
+	if err != nil {
+		return err
+	}
+	ipath := filepath.ToSlash(rel)
+	if m.path != "" {
+		if ipath == "." {
+			ipath = m.path
+		} else {
+			ipath = m.path + "/" + ipath
+		}
+	} else if ipath == "." {
+		return fmt.Errorf("analysis: bare src tree may not have Go files at its root (%s)", dir)
+	}
+	pi := &pkgInfo{path: ipath, dir: dir, files: files}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			ip := strings.Trim(imp.Path.Value, `"`)
+			if m.isInternal(ip) {
+				pi.imports = append(pi.imports, ip)
+			}
+		}
+	}
+	m.pkgs = append(m.pkgs, pi)
+	m.byPath[ipath] = pi
+	return nil
+}
+
+// isInternal reports whether ip names a package inside this source tree.
+func (m *module) isInternal(ip string) bool {
+	if m.path != "" {
+		return ip == m.path || strings.HasPrefix(ip, m.path+"/")
+	}
+	// Bare tree: anything without a dot in its first element that is not
+	// resolvable as stdlib is ambiguous; the corpus only imports sibling
+	// directories by relative path, so match against discovered dirs
+	// lazily during typecheck instead. Here, treat single-segment and
+	// known-prefix paths as internal if the directory exists.
+	fi, err := os.Stat(filepath.Join(m.root, filepath.FromSlash(ip)))
+	return err == nil && fi.IsDir()
+}
+
+// typecheck typechecks every package in dependency order. Stdlib imports
+// are resolved from source via go/importer; module-internal imports are
+// resolved against the packages typechecked here.
+func (m *module) typecheck() error {
+	std := importer.ForCompiler(m.fset, "source", nil)
+	order, err := m.topo()
+	if err != nil {
+		return err
+	}
+	imp := &chainImporter{mod: m, std: std}
+	for _, pi := range order {
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		}
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(pi.path, m.fset, pi.files, info)
+		if err != nil {
+			return fmt.Errorf("analysis: typecheck %s: %w", pi.path, err)
+		}
+		pi.pkg, pi.info = pkg, info
+	}
+	return nil
+}
+
+// topo returns the packages in dependency order.
+func (m *module) topo() ([]*pkgInfo, error) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	state := map[string]int{}
+	var order []*pkgInfo
+	var visit func(pi *pkgInfo) error
+	visit = func(pi *pkgInfo) error {
+		switch state[pi.path] {
+		case gray:
+			return fmt.Errorf("analysis: import cycle through %s", pi.path)
+		case black:
+			return nil
+		}
+		state[pi.path] = gray
+		for _, dep := range pi.imports {
+			if d, ok := m.byPath[dep]; ok {
+				if err := visit(d); err != nil {
+					return err
+				}
+			}
+		}
+		state[pi.path] = black
+		order = append(order, pi)
+		return nil
+	}
+	for _, pi := range m.pkgs {
+		if err := visit(pi); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// chainImporter resolves module-internal packages from the in-progress
+// typecheck and everything else (stdlib) from source.
+type chainImporter struct {
+	mod *module
+	std types.Importer
+}
+
+// Import implements types.Importer.
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if pi, ok := c.mod.byPath[path]; ok {
+		if pi.pkg == nil {
+			return nil, fmt.Errorf("analysis: package %s imported before it was typechecked", path)
+		}
+		return pi.pkg, nil
+	}
+	return c.std.Import(path)
+}

@@ -1,0 +1,83 @@
+// Package lockcases is the lockcheck analyzer corpus: functions holding a
+// mutex across direct device I/O, with and without waivers.
+package lockcases
+
+import (
+	"sync"
+
+	"devkit"
+)
+
+type locked struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	next int64
+	dev  devkit.Device
+}
+
+// badRead performs device I/O between Lock and Unlock.
+func (l *locked) badRead(buf []byte) error {
+	l.mu.Lock()
+	err := l.dev.ReadBlock(0, buf)
+	l.mu.Unlock()
+	return err
+}
+
+// badDeferred holds the lock for the whole function via defer; the write
+// happens under it.
+func (l *locked) badDeferred(data []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dev.WriteBlock(0, data)
+}
+
+// badClosure hides the I/O inside a function literal called in place; the
+// checker inlines literals, so this is still a finding.
+func (l *locked) badClosure(buf []byte) (err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	read := func() { err = l.dev.ReadBlock(1, buf) }
+	read()
+	return err
+}
+
+// badRLocked shows read locks count too.
+func (l *locked) badRLocked(buf []byte) error {
+	l.rw.RLock()
+	err := l.dev.ReadBlock(2, buf)
+	l.rw.RUnlock()
+	return err
+}
+
+// goodUnlockFirst copies state under the lock and does I/O after releasing
+// it: the pattern the checker exists to encourage.
+func (l *locked) goodUnlockFirst(buf []byte) error {
+	l.mu.Lock()
+	blk := l.next
+	l.mu.Unlock()
+	return l.dev.ReadBlock(blk, buf)
+}
+
+// waivedFunc is exempted for the whole function.
+//
+//iron:lockok single-entry setup path, nothing else can run yet
+func (l *locked) waivedFunc(buf []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dev.ReadBlock(3, buf)
+}
+
+// waivedLine is exempted at one call site only.
+func (l *locked) waivedLine(data []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	//iron:lockok the tail write is bounded and must stay ordered
+	return l.dev.WriteBlock(4, data)
+}
+
+// formerlyLocked no longer locks anything: its waiver is stale.
+//
+//iron:lockok nothing locked here anymore
+func (l *locked) formerlyLocked(buf []byte) error {
+	return l.dev.ReadBlock(5, buf)
+}

@@ -213,6 +213,7 @@ func buildImage(t Target, cfg Config, dirty bool) ([]byte, error) {
 		limit = 1
 	}
 	crash := faultinject.NewCrashDevice(target, limit)
+	//iron:policy harness §4 the injected crash surfaces as an error from the dying workload; the dirty snapshot is the experiment's result
 	_ = dirtyImage(t.New(crash, nil))
 	return target.Snapshot(), nil
 }

@@ -228,6 +228,8 @@ func (fs *FS) devWriteBatch(reqs []disk.Request, types []iron.BlockType) error {
 
 // Mount reads the superblock and group descriptors, replays the journal if
 // the image was not cleanly unmounted, and marks the file system dirty.
+//
+//iron:lockok mount is single-entry: fs.mu serializes API callers, and no other operation can run until Mount returns
 func (fs *FS) Mount() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()

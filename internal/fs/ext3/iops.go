@@ -335,7 +335,6 @@ func (fs *FS) pruneNode(in *inode, blk int64, depth int, base, childSpan, keep, 
 	// Work on a private copy of the pointers; the block is journaled only
 	// if something changes.
 	empty := true
-	changed := false
 	var mbuf []byte
 	for slot := int64(0); slot < PtrsPerBlock; slot++ {
 		ptr := getPtr(buf, slot)
@@ -365,7 +364,6 @@ func (fs *FS) pruneNode(in *inode, blk int64, depth int, base, childSpan, keep, 
 				}
 			}
 			binary.LittleEndian.PutUint64(mbuf[slot*8:], 0)
-			changed = true
 			continue
 		}
 		childEmpty, err := fs.pruneNode(in, ptr, depth-1, lo, childSpan/PtrsPerBlock, keep, oldBlocks)
@@ -382,11 +380,9 @@ func (fs *FS) pruneNode(in *inode, blk int64, depth int, base, childSpan, keep, 
 				}
 			}
 			binary.LittleEndian.PutUint64(mbuf[slot*8:], 0)
-			changed = true
 		} else if !childEmpty {
 			empty = false
 		}
 	}
-	_ = changed
 	return empty, nil
 }

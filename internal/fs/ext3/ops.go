@@ -152,7 +152,13 @@ func (fs *FS) createNode(path string, mode uint16, ftype uint16) (uint32, *inode
 		vt = vfs.TypeRegular
 	}
 	if err := fs.dirAdd(pIno, pIn, name, ino, byte(vt)); err != nil {
-		_ = fs.freeInode(ino)
+		if ferr := fs.freeInode(ino); ferr != nil {
+			// The create already failed and that error propagates; a
+			// cleanup failure on top additionally leaks the inode until
+			// fsck, which deserves a record rather than silence.
+			fs.rec.Detect(iron.DErrorCode, BTIBitmap, "inode free failed during create cleanup")
+			fs.rec.Recover(iron.RPropagate, BTIBitmap, "create error propagated; inode leaked until fsck")
+		}
 		return 0, nil, err
 	}
 	pIn.Mtime = now
@@ -481,6 +487,7 @@ func (fs *FS) Truncate(path string, size int64) error {
 		// Zero the tail of the new last block so growth re-exposes zeros.
 		if size%BlockSize != 0 {
 			if phys, err := fs.bmap(in, size/BlockSize, false); err == nil && phys != 0 {
+				//iron:policy ext3 §5.1:RZero truncate fails silently: the tail-zero priming read's error vanishes with the rest of the truncate path
 				_, _ = fs.readData(phys, BTData, in, size/BlockSize, false)
 				if buf, err := fs.tx.data(phys, BTData); err == nil {
 					var old []byte
@@ -492,6 +499,7 @@ func (fs *FS) Truncate(path string, size int64) error {
 						buf[i] = 0
 					}
 					if fs.opts.DataParity && in.Parity != 0 {
+						//iron:policy ext3 §5.1:RZero parity refresh during truncate is swallowed like every other truncate failure
 						_ = fs.updateParityDelta(in, old, buf)
 					}
 				}
@@ -719,7 +727,9 @@ func (fs *FS) Rename(oldpath, newpath string) error {
 					return fs.swallowIO(err)
 				}
 				if tIn.Parity != 0 {
-					_ = fs.freeBlock(int64(tIn.Parity))
+					if err := fs.freeBlock(int64(tIn.Parity)); err != nil {
+						return fs.swallowIO(err)
+					}
 				}
 				if err := fs.freeInode(tIno); err != nil {
 					return err

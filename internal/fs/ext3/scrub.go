@@ -30,6 +30,8 @@ type ScrubReport struct {
 // repaired in place from its replica (Mr). Scrubbing is the classic eager
 // complement to the lazy on-access detection the rest of the file system
 // performs.
+//
+//iron:lockok the scrubber deliberately freezes the file system for its sweep; concurrent scrubbing is future work
 func (fs *FS) Scrub() (ScrubReport, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -145,6 +147,7 @@ func (fs *FS) SpaceUsage() SpaceUsage {
 		RMapRegion:  int64(sb.RMapLen),
 		Replicas:    int64(sb.ReplicaNext),
 	}
+	//iron:policy harness §6.2 the space census is best-effort instrumentation; unreadable itable blocks merely undercount parity
 	_ = fs.forEachInode(func(_ uint32, in *inode) error {
 		if in.Parity != 0 {
 			u.Parity++

@@ -135,13 +135,16 @@ func (fs *FS) devWrite(blk int64, data []byte, bt iron.BlockType) error {
 
 // devWriteBatch applies devWrite's ignore-errors policy to a batch.
 func (fs *FS) devWriteBatch(reqs []disk.Request) {
-	_ = fs.dev.WriteBatch(reqs) // errors ignored (DZero)
+	//iron:policy jfs §5.3:RZero write errors are ignored outright; only the journal superblock write is checked
+	_ = fs.dev.WriteBatch(reqs)
 }
 
 // Mount reads the superblock (using the alternate copy on a *read failure*
 // but — the reproduced inconsistency — not on corruption), the aggregate
 // inode table (whose secondary copy is never consulted), the allocation-map
 // descriptors, and replays the record log if dirty.
+//
+//iron:lockok mount is single-entry: fs.mu serializes API callers, and no other operation can run until Mount returns
 func (fs *FS) Mount() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()

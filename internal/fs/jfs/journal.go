@@ -268,7 +268,6 @@ func (fs *FS) replayLog() error {
 	seq := fs.seq + 1
 
 	var pending []redoRec
-	committed := false
 scan:
 	for rel < int64(fs.sb.LogLen) {
 		buf := make([]byte, BlockSize)
@@ -325,7 +324,6 @@ scan:
 					}
 				}
 				pending = nil
-				committed = true
 				seq++
 			default:
 				fs.rec.Detect(iron.DSanity, BTJData, "unknown log record type")
@@ -336,7 +334,6 @@ scan:
 		}
 		rel++
 	}
-	_ = committed
 	if err := fs.dev.Barrier(); err != nil {
 		return vfs.ErrIO
 	}

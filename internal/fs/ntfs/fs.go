@@ -370,6 +370,8 @@ func (fs *FS) replayLog() error {
 
 // Mount reads and checks the boot file, then runs logfile recovery if the
 // volume is dirty.
+//
+//iron:lockok mount is single-entry: fs.mu serializes API callers, and no other operation can run until Mount returns
 func (fs *FS) Mount() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -473,9 +475,17 @@ func (fs *FS) Statfs() (vfs.StatFS, error) {
 	if err := fs.health.CheckRead(); err != nil {
 		return vfs.StatFS{}, err
 	}
-	free, _ := fs.countFreeBlocks()
+	// NTFS propagates metadata read failures (§5.4); a bitmap read error
+	// surfaces instead of reporting fabricated counts.
+	free, err := fs.countFreeBlocks()
+	if err != nil {
+		return vfs.StatFS{}, err
+	}
 	recs := int64(fs.boot.MFTLen) * RecsPB
-	freeRecs, _ := fs.countFreeRecords()
+	freeRecs, err := fs.countFreeRecords()
+	if err != nil {
+		return vfs.StatFS{}, err
+	}
 	return vfs.StatFS{
 		BlockSize:   BlockSize,
 		TotalBlocks: int64(fs.boot.BlockCount),

@@ -16,7 +16,6 @@ const bitsPerBlock = BlockSize * 8
 
 // allocBlock finds a free block, marks it used, and journals the bitmap.
 func (fs *FS) allocBlock(bt iron.BlockType) (int64, error) {
-	_ = bt
 	for bm := int64(0); bm < int64(fs.sb.BitmapLen); bm++ {
 		bmBlk := int64(fs.sb.BitmapStart) + bm
 		buf, err := fs.readMetaBlock(bmBlk, BTBitmap)

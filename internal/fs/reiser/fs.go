@@ -133,6 +133,8 @@ func (fs *FS) devWriteDataBatch(reqs []disk.Request) {
 
 // Mount reads and sanity-checks the superblock, then replays the journal
 // if the image is dirty.
+//
+//iron:lockok mount is single-entry: fs.mu serializes API callers, and no other operation can run until Mount returns
 func (fs *FS) Mount() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()

@@ -101,7 +101,8 @@ func SweepCrashes(
 		cfs := newFS(crash)
 		var synced []string
 		if err := cfs.Mount(); err == nil {
-			_ = CrashWorkload(cfs, &synced) // the crash error is expected
+			//iron:policy harness §4 the crash device kills the workload mid-write by design; recovery of the image is what gets checked
+			_ = CrashWorkload(cfs, &synced)
 		}
 
 		// Recovery: mount the underlying image.

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Pre-merge gate: formatting, vet, build, race-enabled tests, and ironvet
+# (the error-propagation analyzer; see docs/ANALYSIS.md). Run from anywhere
+# inside the repository.
+set -eu
+cd "$(dirname "$0")/.."
+
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+	echo "check: gofmt wants to rewrite:" >&2
+	echo "$fmt" >&2
+	exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./...
+go run ./cmd/ironvet ./...
+
+echo "check: all gates passed"
