@@ -5,7 +5,7 @@
 // Usage:
 //
 //	ironfp [-fs ext3|reiserfs|jfs|ntfs|ixt3|all] [-fault read|write|corrupt|all]
-//	       [-summary] [-robust]
+//	       [-summary] [-robust] [-seed N]
 package main
 
 import (
@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"ironfs/internal/faultinject"
 	"ironfs/internal/fingerprint"
 	"ironfs/internal/iron"
 )
@@ -23,7 +24,12 @@ func main() {
 	summary := flag.Bool("summary", false, "print the Table 5 technique summary over ext3/reiserfs/jfs")
 	robust := flag.Bool("robust", false, "print detected/recovered scenario counts (the §6.2 robustness metric)")
 	transient := flag.Bool("transient", false, "run the transient-fault tolerance study (§5.6: retry is underutilized)")
+	seed := flag.Int64("seed", faultinject.DefaultSeed, "corruption-noise RNG seed (log this to reproduce a run)")
 	flag.Parse()
+
+	// Always log the seed so a corruption-noise failure in any run can be
+	// replayed exactly with -seed.
+	fmt.Printf("ironfp: corruption RNG seed %#x\n", *seed)
 
 	var targets []fingerprint.Target
 	if *fsName == "all" {
@@ -54,7 +60,7 @@ func main() {
 
 	var counts []iron.TechniqueCounts
 	for _, t := range targets {
-		res, err := fingerprint.Run(t, fingerprint.Config{Faults: faults})
+		res, err := fingerprint.Run(t, fingerprint.Config{Faults: faults, Seed: *seed})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ironfp: %v\n", err)
 			os.Exit(1)

@@ -85,6 +85,10 @@ type Device interface {
 type Stats struct {
 	// Reads and Writes are operation counts.
 	Reads, Writes int64
+	// Barriers counts ordering points issued via Barrier. Crash-state
+	// exploration uses it to verify that a file system actually emitted
+	// the ordering it is credited with (a barrier seals a cache epoch).
+	Barriers int64
 	// BytesRead and BytesWritten are byte counts.
 	BytesRead, BytesWritten int64
 	// BusyTime is total simulated time spent servicing I/O.

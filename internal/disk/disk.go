@@ -125,6 +125,7 @@ func (d *Disk) Barrier() error {
 	if d.closed {
 		return ErrClosed
 	}
+	d.stats.Barriers++
 	return nil
 }
 

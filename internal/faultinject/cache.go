@@ -1,0 +1,314 @@
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"ironfs/internal/disk"
+)
+
+// CacheDevice models a disk with a volatile write cache and no forced
+// flushes: every write is absorbed into an in-memory epoch buffer and
+// acknowledged immediately; nothing reaches the wrapped device. Barrier()
+// seals the current epoch — writes in sealed epochs are considered durable
+// at a crash, while any subset of the open epoch (bounded by a cache-size
+// window) may or may not have reached the media, in any order, possibly
+// torn. This is the §6.2 failure model that motivates ixt3's transactional
+// checksums: the drive may commit a journal's commit block before the
+// descriptor and data blocks it covers.
+//
+// Reads see the cache contents (overlay first, inner device second), so a
+// file system mounted on a CacheDevice behaves exactly as if its writes
+// were durable. Crash states are materialized separately from the write
+// log via EnumerateCrashStates and ApplyCrashState.
+type CacheDevice struct {
+	inner disk.Device
+
+	mu      sync.Mutex
+	log     []WriteRecord
+	overlay map[int64][]byte
+	epoch   int
+}
+
+// WriteRecord is one logged write: the Seq-th write overall, targeting
+// Block, issued during Epoch. Data is a private copy.
+type WriteRecord struct {
+	Seq   int
+	Block int64
+	Epoch int
+	Data  []byte
+}
+
+// NewCacheDevice wraps dev with a volatile write cache. The wrapped
+// device is never written; it supplies the pre-workload image for reads.
+func NewCacheDevice(dev disk.Device) *CacheDevice {
+	return &CacheDevice{inner: dev, overlay: make(map[int64][]byte)}
+}
+
+// ReadBlock implements disk.Device: cached data wins over the media.
+func (c *CacheDevice) ReadBlock(n int64, buf []byte) error {
+	c.mu.Lock()
+	if data, ok := c.overlay[n]; ok {
+		copy(buf, data)
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+	return c.inner.ReadBlock(n, buf)
+}
+
+// WriteBlock implements disk.Device: the write is absorbed into the cache.
+func (c *CacheDevice) WriteBlock(n int64, buf []byte) error {
+	if n < 0 || n >= c.inner.NumBlocks() {
+		return disk.ErrOutOfRange
+	}
+	if len(buf) != c.inner.BlockSize() {
+		return disk.ErrBadSize
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	data := make([]byte, len(buf))
+	copy(data, buf)
+	c.log = append(c.log, WriteRecord{Seq: len(c.log), Block: n, Epoch: c.epoch, Data: data})
+	c.overlay[n] = data
+	return nil
+}
+
+// WriteBatch implements disk.Device. Batched writes stay in issue order in
+// the log; the crash-state enumeration supplies the reordering.
+func (c *CacheDevice) WriteBatch(reqs []disk.Request) error {
+	for _, r := range reqs {
+		if err := c.WriteBlock(r.Block, r.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Barrier implements disk.Device: it seals the current epoch. Everything
+// written before the barrier is durable with respect to any crash that
+// happens after it.
+func (c *CacheDevice) Barrier() error {
+	c.mu.Lock()
+	c.epoch++
+	c.mu.Unlock()
+	return c.inner.Barrier()
+}
+
+// BlockSize implements disk.Device.
+func (c *CacheDevice) BlockSize() int { return c.inner.BlockSize() }
+
+// NumBlocks implements disk.Device.
+func (c *CacheDevice) NumBlocks() int64 { return c.inner.NumBlocks() }
+
+// Close implements disk.Device.
+func (c *CacheDevice) Close() error { return c.inner.Close() }
+
+// Log returns a copy of the write log (records share data slices; callers
+// must not mutate them).
+func (c *CacheDevice) Log() []WriteRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]WriteRecord, len(c.log))
+	copy(out, c.log)
+	return out
+}
+
+// Epochs returns the number of sealed epochs (barriers issued).
+func (c *CacheDevice) Epochs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// ---------------------------------------------------------------------------
+// Crash-state enumeration.
+// ---------------------------------------------------------------------------
+
+// EnumPolicy bounds and seeds the crash-state enumeration, following the
+// bounded black-box approach of B3 (Mohan et al., OSDI '18): exhaust all
+// subsets of small reordering windows, sample larger ones deterministically.
+type EnumPolicy struct {
+	// Window is the cache capacity in blocks: at most this many trailing
+	// writes of the open epoch are still volatile at a crash; older
+	// same-epoch writes have been evicted to media. Max 63 (subset masks
+	// are uint64). Default 16.
+	Window int
+	// MaxExhaustive is the largest pending-set size for which all 2^n
+	// subsets are enumerated. Above it, Samples seeded random subsets are
+	// drawn instead (plus the canonical none/all/drop-one states, which
+	// are always included). Default 4.
+	MaxExhaustive int
+	// Samples is the number of sampled subsets above MaxExhaustive.
+	// Default 8.
+	Samples int
+	// Seed drives the subset sampler. Default DefaultSeed. The same seed
+	// always yields the same crash states.
+	Seed int64
+	// Torn adds, for every non-empty subset, a twin state in which the
+	// newest surviving write is torn: only its first TornBytes land.
+	Torn bool
+	// TornBytes is the size of the partial write in a torn state
+	// (default 512 — one legacy sector of a 4 KiB block).
+	TornBytes int
+}
+
+func (p EnumPolicy) withDefaults() EnumPolicy {
+	if p.Window == 0 {
+		p.Window = 16
+	}
+	if p.Window > 63 {
+		p.Window = 63
+	}
+	if p.MaxExhaustive == 0 {
+		p.MaxExhaustive = 4
+	}
+	if p.Samples == 0 {
+		p.Samples = 8
+	}
+	if p.Seed == 0 {
+		p.Seed = DefaultSeed
+	}
+	if p.TornBytes == 0 {
+		p.TornBytes = 512
+	}
+	return p
+}
+
+// CrashState names one post-crash media image: the crash strikes just
+// after the write log[Point] is issued; of the pending window ending at
+// Point, exactly the writes selected by Mask survive. If Torn is set, the
+// newest surviving write lands partially (first TornBytes bytes only).
+type CrashState struct {
+	// Point indexes the write log entry after which the crash strikes.
+	Point int
+	// Mask selects surviving writes: bit i covers the i-th entry of the
+	// pending window (oldest first).
+	Mask uint64
+	// Torn tears the newest surviving write.
+	Torn bool
+}
+
+// String renders a state compactly for logs: "p42 m=1011 torn".
+func (s CrashState) String() string {
+	t := ""
+	if s.Torn {
+		t = " torn"
+	}
+	return fmt.Sprintf("p%d m=%b%s", s.Point, s.Mask, t)
+}
+
+// pendingStart returns the log index of the first volatile write for a
+// crash at point: the open epoch is log[point]'s epoch, and at most window
+// of its trailing writes are still in cache (earlier ones were evicted to
+// media as the cache filled).
+func pendingStart(log []WriteRecord, point, window int) int {
+	e := log[point].Epoch
+	first := point
+	for first > 0 && log[first-1].Epoch == e {
+		first--
+	}
+	if point-first+1 > window {
+		first = point + 1 - window
+	}
+	return first
+}
+
+// EnumerateCrashStates returns the crash states to test for a crash at
+// log[point], deterministically for a fixed policy. The canonical states —
+// nothing survives (prefix cut), everything survives, and each drop-one —
+// are always present; small windows are exhausted, large ones sampled.
+func EnumerateCrashStates(log []WriteRecord, point int, p EnumPolicy) []CrashState {
+	p = p.withDefaults()
+	if point < 0 || point >= len(log) {
+		return nil
+	}
+	first := pendingStart(log, point, p.Window)
+	n := point - first + 1
+
+	full := uint64(1)<<n - 1
+	seen := map[uint64]bool{}
+	var masks []uint64
+	add := func(m uint64) {
+		if !seen[m] {
+			seen[m] = true
+			masks = append(masks, m)
+		}
+	}
+
+	if n <= p.MaxExhaustive {
+		for m := uint64(0); m <= full; m++ {
+			add(m)
+		}
+	} else {
+		add(0)
+		add(full)
+		for i := 0; i < n; i++ {
+			add(full &^ (uint64(1) << i))
+		}
+		// Seeded sampling, derived from both the global seed and the
+		// crash point so distinct points draw distinct subsets.
+		rng := rand.New(rand.NewSource(p.Seed ^ int64(point)*0x5851f42d4c957f2d))
+		for i := 0; i < p.Samples; i++ {
+			add(rng.Uint64() & full)
+		}
+	}
+	sort.Slice(masks, func(i, j int) bool { return masks[i] < masks[j] })
+
+	out := make([]CrashState, 0, 2*len(masks))
+	for _, m := range masks {
+		out = append(out, CrashState{Point: point, Mask: m})
+		if p.Torn && m != 0 {
+			out = append(out, CrashState{Point: point, Mask: m, Torn: true})
+		}
+	}
+	return out
+}
+
+// ApplyCrashState materializes the post-crash image for state s: base (the
+// media image from before the workload) plus all durable writes, plus the
+// surviving subset of the pending window, applied in issue order so that
+// later writes to the same block win. base is not modified; blockSize is
+// the device block size. The returned image is freshly allocated.
+func ApplyCrashState(base []byte, blockSize int, log []WriteRecord, s CrashState, p EnumPolicy) []byte {
+	img := make([]byte, len(base))
+	copy(img, base)
+	ApplyCrashStateTo(img, blockSize, log, s, p)
+	return img
+}
+
+// ApplyCrashStateTo is ApplyCrashState writing into a caller-owned image
+// buffer already holding the base contents (for reuse across states).
+func ApplyCrashStateTo(img []byte, blockSize int, log []WriteRecord, s CrashState, p EnumPolicy) {
+	p = p.withDefaults()
+	if s.Point < 0 || s.Point >= len(log) {
+		return
+	}
+	first := pendingStart(log, s.Point, p.Window)
+
+	// Durable prefix: sealed epochs plus the evicted head of the open one.
+	for i := 0; i < first; i++ {
+		r := log[i]
+		copy(img[r.Block*int64(blockSize):], r.Data)
+	}
+	// Newest surviving pending write, for tearing.
+	newest := -1
+	for i := first; i <= s.Point; i++ {
+		if s.Mask&(uint64(1)<<(i-first)) != 0 {
+			newest = i
+		}
+	}
+	for i := first; i <= s.Point; i++ {
+		if s.Mask&(uint64(1)<<(i-first)) == 0 {
+			continue
+		}
+		r := log[i]
+		data := r.Data
+		if s.Torn && i == newest && p.TornBytes < len(data) {
+			data = data[:p.TornBytes]
+		}
+		copy(img[r.Block*int64(blockSize):], data)
+	}
+}

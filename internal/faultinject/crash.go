@@ -2,14 +2,34 @@ package faultinject
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 
 	"ironfs/internal/disk"
 )
 
-// ErrCrashed is returned by a CrashDevice for every operation after the
-// crash point has been reached.
+// ErrCrashed is the sentinel for all simulated-crash failures. Devices
+// return a *CrashError carrying the crash write index; match with
+// errors.Is(err, ErrCrashed), never with ==.
 var ErrCrashed = errors.New("faultinject: simulated crash")
+
+// CrashError is the concrete error a crashed device returns. Write is the
+// index of the write at which the crash landed (the count of writes that
+// reached the media before the cut), so post-crash failures in logs point
+// straight at the crash point instead of a bare "simulated crash".
+type CrashError struct {
+	// Write is the number of block writes that reached the media before
+	// the crash.
+	Write int64
+}
+
+// Error implements error.
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("faultinject: simulated crash (after write %d)", e.Write)
+}
+
+// Is makes errors.Is(err, ErrCrashed) match any CrashError.
+func (e *CrashError) Is(target error) bool { return target == ErrCrashed }
 
 // CrashDevice wraps a device and simulates a whole-system crash after a
 // given number of block writes have reached the media: the Nth and all
@@ -50,20 +70,27 @@ func (c *CrashDevice) admitWrite() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.crashed {
-		return ErrCrashed
+		return &CrashError{Write: c.written}
 	}
 	if c.limit >= 0 && c.written >= c.limit {
 		c.crashed = true
-		return ErrCrashed
+		return &CrashError{Write: c.written}
 	}
 	c.written++
 	return nil
 }
 
+// crashErr returns the post-crash error with the recorded write index.
+func (c *CrashDevice) crashErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return &CrashError{Write: c.written}
+}
+
 // ReadBlock implements disk.Device.
 func (c *CrashDevice) ReadBlock(n int64, buf []byte) error {
 	if c.Crashed() {
-		return ErrCrashed
+		return c.crashErr()
 	}
 	return c.inner.ReadBlock(n, buf)
 }
@@ -93,7 +120,7 @@ func (c *CrashDevice) WriteBatch(reqs []disk.Request) error {
 // Barrier implements disk.Device.
 func (c *CrashDevice) Barrier() error {
 	if c.Crashed() {
-		return ErrCrashed
+		return c.crashErr()
 	}
 	return c.inner.Barrier()
 }

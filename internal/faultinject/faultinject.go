@@ -101,15 +101,31 @@ type Device struct {
 	faults  []*Fault
 	trace   []TraceEntry
 	tracing bool
+	seed    int64
 	rng     *rand.Rand
 	fires   int
 }
 
+// DefaultSeed seeds the corruption-noise RNG when the caller does not
+// supply one. Runs that log their seed (cmd/ironfp does) are reproducible
+// by passing it back via -seed.
+const DefaultSeed int64 = 0x1207
+
 // New wraps dev with a fault-injection layer. resolver may be nil, in which
 // case every block classifies as iron.Unclassified (type-oblivious mode).
+// The corruption RNG is seeded with DefaultSeed.
 func New(dev disk.Device, resolver TypeResolver) *Device {
-	return &Device{inner: dev, resolver: resolver, rng: rand.New(rand.NewSource(0x1207)), tracing: true}
+	return NewSeeded(dev, resolver, DefaultSeed)
 }
+
+// NewSeeded is New with a caller-supplied RNG seed, so corruption-noise
+// failures seen in one run can be replayed exactly.
+func NewSeeded(dev disk.Device, resolver TypeResolver, seed int64) *Device {
+	return &Device{inner: dev, resolver: resolver, seed: seed, rng: rand.New(rand.NewSource(seed)), tracing: true}
+}
+
+// Seed returns the seed the corruption RNG was created with.
+func (d *Device) Seed() int64 { return d.seed }
 
 // SetResolver installs (or replaces) the type resolver.
 func (d *Device) SetResolver(r TypeResolver) {

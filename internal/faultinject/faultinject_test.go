@@ -274,6 +274,11 @@ func TestCrashDevice(t *testing.T) {
 	if err := c.Barrier(); !errors.Is(err, ErrCrashed) {
 		t.Errorf("barrier after crash = %v", err)
 	}
+	// The concrete error carries the crash write index for debugging.
+	var ce *CrashError
+	if err := c.ReadBlock(0, buf); !errors.As(err, &ce) || ce.Write != 3 {
+		t.Errorf("err = %v, want *CrashError{Write: 3}", err)
+	}
 }
 
 func TestCrashDeviceMidBatch(t *testing.T) {

@@ -1,0 +1,109 @@
+package fingerprint
+
+import (
+	"fmt"
+
+	"ironfs/internal/disk"
+	"ironfs/internal/fs/ext3"
+	"ironfs/internal/fs/ixt3"
+	"ironfs/internal/fs/jfs"
+	"ironfs/internal/fs/ntfs"
+	"ironfs/internal/fs/reiser"
+	"ironfs/internal/fstest"
+	"ironfs/internal/iron"
+	"ironfs/internal/vfs"
+)
+
+// Crash-exploration targets. They live here rather than in fstest because
+// fstest cannot import the fs packages (their in-package tests import
+// fstest).
+
+// crashExt3Opts is a compact ext3 geometry for crash exploration: the
+// images are cloned once per crash state, so small is fast. One 512-block
+// group, a 64-block journal, 32 inodes.
+func crashExt3Opts() ext3.Options {
+	return ext3.Options{BlocksPerGroup: 512, JournalBlocks: 64, ITableBlocks: 2}
+}
+
+// CrashTargets returns the crash-exploration matrix rows:
+//
+//	ext3           stock ordering (payload, barrier, commit)
+//	ext3-nobarrier stock ext3 on a cache that ignores flushes (§6.2)
+//	ixt3           Tc transactional checksums, no ordering barrier needed
+//	reiserfs/jfs/ntfs  as built
+//
+// ext3-nobarrier vs ixt3 is the paper's headline pair: both run without
+// the payload/commit ordering point, but only ixt3 can tell a reordered
+// commit from a real one.
+func CrashTargets() []fstest.ExploreTarget {
+	ext3Opts := crashExt3Opts()
+	nbOpts := crashExt3Opts()
+	nbOpts.NoBarrier = true
+	tcOpts := crashExt3Opts()
+	tcOpts.TxnChecksum = true
+	tcOpts.FixBugs = true
+	tcFeat := ixt3.Features{Tc: true}
+
+	return []fstest.ExploreTarget{
+		{
+			Name: "ext3", DiskBlocks: 1024,
+			Mkfs: func(dev disk.Device) error { return ext3.Mkfs(dev, ext3Opts) },
+			New: func(dev disk.Device, rec *iron.Recorder) vfs.FileSystem {
+				return ext3.New(dev, ext3Opts, rec)
+			},
+			Check: func(dev disk.Device) error { return ext3.CheckImage(dev, ext3Opts) },
+		},
+		{
+			Name: "ext3-nobarrier", DiskBlocks: 1024,
+			Mkfs: func(dev disk.Device) error { return ext3.Mkfs(dev, nbOpts) },
+			New: func(dev disk.Device, rec *iron.Recorder) vfs.FileSystem {
+				return ext3.New(dev, nbOpts, rec)
+			},
+			Check: func(dev disk.Device) error { return ext3.CheckImage(dev, nbOpts) },
+		},
+		{
+			Name: "ixt3", DiskBlocks: 1024,
+			Mkfs: func(dev disk.Device) error { return ext3.Mkfs(dev, tcOpts) },
+			New: func(dev disk.Device, rec *iron.Recorder) vfs.FileSystem {
+				return ext3.New(dev, tcOpts, rec)
+			},
+			// Layout overrides only matter at mkfs; for mounting, the
+			// feature set is all the oracle needs.
+			Check: func(dev disk.Device) error { return ixt3.Check(dev, tcFeat) },
+		},
+		{
+			Name: "reiserfs", DiskBlocks: 1024,
+			Mkfs: reiser.Mkfs,
+			New: func(dev disk.Device, rec *iron.Recorder) vfs.FileSystem {
+				return reiser.New(dev, rec)
+			},
+			Check: reiser.Check,
+		},
+		{
+			Name: "jfs", DiskBlocks: 1024,
+			Mkfs: jfs.Mkfs,
+			New: func(dev disk.Device, rec *iron.Recorder) vfs.FileSystem {
+				return jfs.New(dev, rec)
+			},
+			Check: jfs.Check,
+		},
+		{
+			Name: "ntfs", DiskBlocks: 1024,
+			Mkfs: ntfs.Mkfs,
+			New: func(dev disk.Device, rec *iron.Recorder) vfs.FileSystem {
+				return ntfs.New(dev, rec)
+			},
+			Check: ntfs.Check,
+		},
+	}
+}
+
+// CrashTargetByName finds one crash target.
+func CrashTargetByName(name string) (fstest.ExploreTarget, error) {
+	for _, t := range CrashTargets() {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return fstest.ExploreTarget{}, fmt.Errorf("unknown crash target %q", name)
+}

@@ -18,6 +18,9 @@ type Config struct {
 	// Transient arms one-shot instead of sticky faults, for probing
 	// retry behavior (default false: sticky, as the paper's main runs).
 	Transient bool
+	// Seed seeds the corruption-noise RNG (default
+	// faultinject.DefaultSeed). Logged by cmd/ironfp for reproducibility.
+	Seed int64
 }
 
 func (c Config) withDefaults() Config {
@@ -26,6 +29,9 @@ func (c Config) withDefaults() Config {
 	}
 	if len(c.Faults) == 0 {
 		c.Faults = []iron.FaultClass{iron.ReadFailure, iron.WriteFailure, iron.Corruption}
+	}
+	if c.Seed == 0 {
+		c.Seed = faultinject.DefaultSeed
 	}
 	return c
 }
@@ -228,7 +234,7 @@ func instance(t Target, cfg Config, img []byte) (*disk.Disk, *faultinject.Device
 	if err := d.Restore(img); err != nil {
 		return nil, nil, nil, nil, err
 	}
-	fdev := faultinject.New(d, t.NewResolver(d))
+	fdev := faultinject.NewSeeded(d, t.NewResolver(d), cfg.Seed)
 	rec := iron.NewRecorder()
 	fs := t.New(fdev, rec)
 	return d, fdev, rec, fs, nil

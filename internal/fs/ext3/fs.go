@@ -64,9 +64,11 @@ func (fs *FS) now() int64 {
 	return fs.timeCtr
 }
 
-// variantName names the configuration for reports.
+// variantName names the configuration for reports. Only the IRON feature
+// set and the bug fixes make an ixt3: layout overrides and NoBarrier are
+// still stock ext3.
 func (fs *FS) variantName() string {
-	if fs.opts == (Options{}) {
+	if fs.opts.featureBits() == 0 && !fs.opts.FixBugs {
 		return "ext3"
 	}
 	return "ixt3"

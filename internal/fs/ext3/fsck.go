@@ -20,7 +20,7 @@ import (
 type Problem struct {
 	// Kind is a stable identifier: "block-bitmap", "inode-bitmap",
 	// "link-count", "free-blocks", "free-inodes", "orphan-inode",
-	// "double-ref", "bad-pointer".
+	// "double-ref", "bad-pointer", "bad-size".
 	Kind string
 	// Detail locates the problem.
 	Detail string
@@ -34,8 +34,10 @@ type fsckState struct {
 	usedBlocks map[int64]bool    // every block a reachable structure uses
 	doubleRef  []int64           // blocks referenced more than once
 	badPtrs    []string          // pointers outside the volume
+	badSizes   []string          // inode sizes larger than the volume
 	linkCounts map[uint32]uint16 // directory-entry references per inode
 	reachable  map[uint32]bool
+	walkedDir  map[uint32]bool // directories already expanded (cycle guard)
 }
 
 // census walks the directory tree from the root, recording reachability,
@@ -45,6 +47,7 @@ func (fs *FS) census() (*fsckState, error) {
 		usedBlocks: map[int64]bool{},
 		linkCounts: map[uint32]uint16{},
 		reachable:  map[uint32]bool{},
+		walkedDir:  map[uint32]bool{},
 	}
 	claim := func(blk int64, what string) {
 		if g := fs.lay.groupOf(blk); g < 0 {
@@ -74,8 +77,16 @@ func (fs *FS) census() (*fsckState, error) {
 		if in.Parity != 0 {
 			claim(int64(in.Parity), what+" parity")
 		}
-		// Claim data and indirect blocks.
+		// Claim data and indirect blocks. A post-crash inode may carry a
+		// garbage Size; clamp the walk to the volume capacity (no file
+		// can hold more blocks than the device) so the census terminates,
+		// and report the insane size.
 		nblocks := (int64(in.Size) + BlockSize - 1) / BlockSize
+		if max := fs.dev.NumBlocks(); nblocks > max {
+			st.badSizes = append(st.badSizes,
+				fmt.Sprintf("%s size %d exceeds volume (%d blocks)", what, in.Size, max))
+			nblocks = max
+		}
 		for l := int64(0); l < nblocks; l++ {
 			phys, err := fs.bmap(in, l, false)
 			if err != nil {
@@ -117,6 +128,10 @@ func (fs *FS) census() (*fsckState, error) {
 		if depth > 64 {
 			return vfs.ErrCorrupt
 		}
+		if st.walkedDir[ino] {
+			return nil // directory cycle (corrupt tree): entries counted, don't re-expand
+		}
+		st.walkedDir[ino] = true
 		in, err := visitInode(ino, fmt.Sprintf("inode %d", ino))
 		if err != nil || in == nil {
 			return err
@@ -177,6 +192,9 @@ func (fs *FS) checkLocked() ([]Problem, error) {
 	}
 	for _, p := range st.badPtrs {
 		add("bad-pointer", "%s", p)
+	}
+	for _, s := range st.badSizes {
+		add("bad-size", "%s", s)
 	}
 
 	// Block bitmaps vs reachability.

@@ -367,12 +367,16 @@ func (fs *FS) commitLocked() error {
 		// wait), then the commit block. Note the reproduced bug: if the
 		// journal payload write fails, stock ext3 still writes the
 		// commit block (§5.1) — devWriteBatch has already swallowed the
-		// error unless FixBugs is set.
+		// error unless FixBugs is set. Under NoBarrier the ordering point
+		// is omitted (write cache with flushes disabled, §6.2), so a
+		// crash may land the commit without its payload.
 		if err := fs.devWriteBatch(reqs, types); err != nil {
 			return err
 		}
-		if err := fs.dev.Barrier(); err != nil {
-			return vfs.ErrIO
+		if !fs.opts.NoBarrier {
+			if err := fs.dev.Barrier(); err != nil {
+				return vfs.ErrIO
+			}
 		}
 		if err := fs.devWrite(base+rel, commit, BTJCommit); err != nil {
 			return err

@@ -116,6 +116,13 @@ type Options struct {
 	BlocksPerGroup int64
 	// ITableBlocks overrides the per-group inode table size (default 8).
 	ITableBlocks int64
+
+	// NoBarrier drops the ordering barrier between the journal payload
+	// and the commit block, modeling ext3 atop a drive whose write cache
+	// ignores flushes (the deployment §6.2 warns about): the commit block
+	// may reach media before the data it covers. Irrelevant under
+	// TxnChecksum, whose commit carries its own proof of atomicity.
+	NoBarrier bool
 }
 
 // AllIron returns the options for full ixt3: every IRON feature on and the

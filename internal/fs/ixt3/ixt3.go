@@ -73,3 +73,11 @@ func New(dev disk.Device, f Features, rec *iron.Recorder) *ext3.FS {
 // NewResolver returns the gray-box block-type resolver for ixt3 images
 // (identical layout to ext3).
 func NewResolver(raw *disk.Disk) *ext3.Resolver { return ext3.NewResolver(raw) }
+
+// Check is the crash-exploration consistency oracle for an ixt3 image
+// with the given feature set: mount (running recovery, with Tc's
+// transaction checksum vetting the replay when enabled) and scan for
+// structural damage. See ext3.CheckImage for the error contract.
+func Check(dev disk.Device, f Features) error {
+	return ext3.CheckImage(dev, f.options())
+}

@@ -1,0 +1,167 @@
+package jfs
+
+import (
+	"fmt"
+
+	"ironfs/internal/disk"
+	"ironfs/internal/iron"
+	"ironfs/internal/vfs"
+)
+
+// Check is the crash-exploration consistency oracle: mount the image on
+// dev (replaying the record-level log if the volume is dirty) and verify
+// the inode table against the allocation maps and the directory tree.
+// Damage JFS itself flagged (mount refusal, a sanity check firing during
+// the scan) comes back as its own error; damage it accepted silently comes
+// back wrapped in vfs.ErrInconsistent. The lazily kept counters
+// (superblock, bmap descriptor, imap control) are not checked.
+func Check(dev disk.Device) error {
+	rec := iron.NewRecorder()
+	fs := New(dev, rec)
+	if err := fs.Mount(); err != nil {
+		return fmt.Errorf("jfs oracle mount: %w", err)
+	}
+	return fs.checkConsistency()
+}
+
+func (fs *FS) checkConsistency() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.mounted {
+		return vfs.ErrNotMounted
+	}
+
+	var problems []string
+	badf := func(format string, args ...interface{}) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	used := map[int64]string{}
+	claim := func(blk int64, what string) {
+		if blk <= 0 || blk >= int64(fs.sb.BlockCount) {
+			badf("wild pointer: %s -> block %d", what, blk)
+			return
+		}
+		if prev, ok := used[blk]; ok {
+			badf("double-ref: block %d claimed by %s and %s", blk, prev, what)
+			return
+		}
+		used[blk] = what
+	}
+
+	// Walk the inode table, claiming every block each allocated inode maps.
+	total := uint32(int64(fs.sb.ITabLen) * InodesPB)
+	refs := map[uint32]int{}
+	alloc := map[uint32]*inode{}
+	for ino := uint32(1); ino <= total; ino++ {
+		in, err := fs.loadInode(ino)
+		if err != nil {
+			return err // sanity check fired: detected, not silent
+		}
+		if !in.allocated() {
+			continue
+		}
+		alloc[ino] = in
+		nblocks := (int64(in.Size) + BlockSize - 1) / BlockSize
+		for l := int64(0); l < nblocks; l++ {
+			blk, err := fs.blockPtr(in, l, false, false)
+			if err != nil {
+				return err
+			}
+			if blk != 0 {
+				claim(blk, fmt.Sprintf("inode %d block %d", ino, l))
+			}
+		}
+		for g, ib := range in.Intern {
+			if ib != 0 {
+				claim(int64(ib), fmt.Sprintf("inode %d internal %d", ino, g))
+			}
+		}
+	}
+
+	// Directory entries vs the inode table.
+	for ino, in := range alloc {
+		if !in.isDir() {
+			continue
+		}
+		err := fs.dirBlocks(in, func(_ int64, _ []byte, ents []dirEnt) (bool, error) {
+			for _, e := range ents {
+				refs[e.Ino]++
+				if t, ok := alloc[e.Ino]; !ok || t == nil {
+					badf("dangling entry: dir %d entry %q -> unallocated inode %d",
+						ino, e.Name, e.Ino)
+				}
+			}
+			return false, nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for ino, in := range alloc {
+		if ino == RootIno {
+			continue
+		}
+		n := refs[ino]
+		if n == 0 {
+			badf("orphan inode %d: allocated but unreachable", ino)
+			continue
+		}
+		if !in.isDir() && int(in.Links) != n {
+			badf("link count: inode %d says %d, directory tree says %d", ino, in.Links, n)
+		}
+	}
+
+	// Inode map bits vs the table.
+	for ino := uint32(1); ino <= total; ino++ {
+		idx := int64(ino - 1)
+		imBlk := int64(fs.sb.IMapStart) + idx/bitsPerBlock
+		buf, err := fs.readMeta(imBlk, BTIMap)
+		if err != nil {
+			return err
+		}
+		bit := idx % bitsPerBlock
+		marked := buf[bit/8]&(1<<uint(bit%8)) != 0
+		_, isAlloc := alloc[ino]
+		switch {
+		case marked && !isAlloc:
+			badf("imap: inode %d marked allocated but table slot is free", ino)
+		case !marked && isAlloc:
+			badf("imap: inode %d in use but marked free", ino)
+		}
+	}
+
+	// Block map bits vs reachability. Aggregate metadata (superblocks,
+	// descriptor pages, maps, inode table, log) is permanently in use.
+	dataStart := int64(fs.sb.ITabStart + fs.sb.ITabLen)
+	fixed := func(blk int64) bool {
+		return blk < dataStart || blk >= int64(fs.sb.LogStart)
+	}
+	for bm := int64(0); bm < int64(fs.sb.BMapLen); bm++ {
+		buf, err := fs.readMeta(int64(fs.sb.BMapStart)+bm, BTBMap)
+		if err != nil {
+			return err
+		}
+		for bit := int64(0); bit < bitsPerBlock; bit++ {
+			blk := bm*bitsPerBlock + bit
+			if blk >= int64(fs.sb.BlockCount) {
+				break
+			}
+			marked := buf[bit/8]&(1<<uint(bit%8)) != 0
+			_, reachable := used[blk]
+			inUse := reachable || fixed(blk)
+			switch {
+			case marked && !inUse:
+				badf("bmap: block %d marked allocated but unreachable", blk)
+			case !marked && inUse:
+				badf("bmap: block %d in use but marked free", blk)
+			}
+		}
+	}
+
+	if len(problems) > 0 {
+		return fmt.Errorf("%w: jfs: %d problems, first: %s",
+			vfs.ErrInconsistent, len(problems), problems[0])
+	}
+	return nil
+}

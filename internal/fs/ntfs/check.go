@@ -1,0 +1,167 @@
+package ntfs
+
+import (
+	"fmt"
+
+	"ironfs/internal/disk"
+	"ironfs/internal/iron"
+	"ironfs/internal/vfs"
+)
+
+// Check is the crash-exploration consistency oracle: mount the image on
+// dev (replaying the logfile if the volume is dirty) and verify the MFT
+// against both bitmaps and the directory tree. Damage NTFS itself flagged
+// (mount refusal, a record magic or entry-count check firing) comes back
+// as its own error; damage it accepted silently comes back wrapped in
+// vfs.ErrInconsistent.
+func Check(dev disk.Device) error {
+	rec := iron.NewRecorder()
+	fs := New(dev, rec)
+	if err := fs.Mount(); err != nil {
+		return fmt.Errorf("ntfs oracle mount: %w", err)
+	}
+	return fs.checkConsistency()
+}
+
+func (fs *FS) checkConsistency() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.mounted {
+		return vfs.ErrNotMounted
+	}
+
+	var problems []string
+	badf := func(format string, args ...interface{}) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	used := map[int64]string{}
+	claim := func(blk int64, what string) {
+		if blk <= 0 || blk >= int64(fs.boot.BlockCount) {
+			badf("wild pointer: %s -> block %d", what, blk)
+			return
+		}
+		if prev, ok := used[blk]; ok {
+			badf("double-ref: block %d claimed by %s and %s", blk, prev, what)
+			return
+		}
+		used[blk] = what
+	}
+
+	// Walk the MFT, claiming every block each in-use record maps.
+	total := uint32(int64(fs.boot.MFTLen) * RecsPB)
+	inUse := map[uint32]*mftRecord{}
+	refs := map[uint32]int{}
+	for rec := uint32(0); rec < total; rec++ {
+		r, err := fs.loadRecord(rec)
+		if err != nil {
+			return err // record magic check fired: detected, not silent
+		}
+		if !r.inUse() {
+			continue
+		}
+		inUse[rec] = r
+		nblocks := (int64(r.Size) + BlockSize - 1) / BlockSize
+		if nblocks > maxFileBlocks {
+			badf("record %d size %d exceeds the maximum file size", rec, r.Size)
+			nblocks = maxFileBlocks
+		}
+		for l := int64(0); l < nblocks; l++ {
+			blk, err := fs.blockPtr(r, l, false)
+			if err != nil {
+				return err
+			}
+			if blk != 0 {
+				claim(blk, fmt.Sprintf("record %d block %d", rec, l))
+			}
+		}
+		for g, eb := range r.Ext {
+			if eb != 0 {
+				claim(int64(eb), fmt.Sprintf("record %d run-extension %d", rec, g))
+			}
+		}
+	}
+
+	// Directory entries vs the MFT.
+	for rec, r := range inUse {
+		if !r.isDir() {
+			continue
+		}
+		err := fs.dirBlocks(r, func(_ int64, _ []byte, ents []dirEnt) (bool, error) {
+			for _, e := range ents {
+				refs[e.Rec]++
+				if _, ok := inUse[e.Rec]; !ok {
+					badf("dangling entry: dir record %d entry %q -> free record %d",
+						rec, e.Name, e.Rec)
+				}
+			}
+			return false, nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for rec, r := range inUse {
+		if rec == 0 || rec == RootRec { // $MFT and the root have no parent entry
+			continue
+		}
+		n := refs[rec]
+		if n == 0 {
+			badf("orphan record %d: in use but unreachable", rec)
+			continue
+		}
+		if !r.isDir() && int(r.Links) != n {
+			badf("link count: record %d says %d, directory tree says %d", rec, r.Links, n)
+		}
+	}
+
+	// MFT bitmap vs record flags.
+	mb, err := fs.readBlockRetry(int64(fs.boot.MFTBmp), BTMFTBmp)
+	if err != nil {
+		return err
+	}
+	for rec := uint32(0); rec < total; rec++ {
+		marked := mb[rec/8]&(1<<uint(rec%8)) != 0
+		_, alive := inUse[rec]
+		switch {
+		case marked && !alive:
+			badf("mft bitmap: record %d marked in use but free", rec)
+		case !marked && alive:
+			badf("mft bitmap: record %d in use but marked free", rec)
+		}
+	}
+
+	// Volume bitmap vs reachability. Everything before the data area and
+	// the logfile is permanently in use.
+	dataStart := int64(fs.boot.VolBmpStart + fs.boot.VolBmpLen)
+	fixed := func(blk int64) bool {
+		return blk < dataStart || blk >= int64(fs.boot.LogStart)
+	}
+	for bm := int64(0); bm < int64(fs.boot.VolBmpLen); bm++ {
+		buf, err := fs.readBlockRetry(int64(fs.boot.VolBmpStart)+bm, BTVolBmp)
+		if err != nil {
+			return err
+		}
+		for bit := int64(0); bit < bitsPerBlock; bit++ {
+			blk := bm*bitsPerBlock + bit
+			if blk >= int64(fs.boot.BlockCount) {
+				break
+			}
+			marked := buf[bit/8]&(1<<uint(bit%8)) != 0
+			_, reachable := used[blk]
+			alive := reachable || fixed(blk)
+			switch {
+			case marked && !alive:
+				badf("vol bitmap: block %d marked allocated but unreachable", blk)
+			case !marked && alive:
+				badf("vol bitmap: block %d in use but marked free", blk)
+			}
+		}
+	}
+
+	if len(problems) > 0 {
+		return fmt.Errorf("%w: ntfs: %d problems, first: %s",
+			vfs.ErrInconsistent, len(problems), problems[0])
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package reiser
+
+import (
+	"fmt"
+
+	"ironfs/internal/disk"
+	"ironfs/internal/iron"
+	"ironfs/internal/vfs"
+)
+
+// Check is the crash-exploration consistency oracle: mount the image on
+// dev (running journal replay if the volume is dirty) and verify the
+// balanced tree against the allocation bitmaps and the directory entries
+// against the stat items. Damage the file system itself flagged (mount
+// refusal, a tree sanity check panicking the volume) comes back as the
+// file system's own error; damage it accepted silently comes back wrapped
+// in vfs.ErrInconsistent.
+func Check(dev disk.Device) error {
+	rec := iron.NewRecorder()
+	fs := New(dev, rec)
+	if err := fs.Mount(); err != nil {
+		return fmt.Errorf("reiser oracle mount: %w", err)
+	}
+	return fs.checkConsistency()
+}
+
+// checkConsistency walks the whole tree and cross-checks it, fsck-style.
+// The superblock free counter is journaled with the tree, but checking it
+// is deliberately skipped: the oracle flags structural damage only.
+func (fs *FS) checkConsistency() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.mounted {
+		return vfs.ErrNotMounted
+	}
+
+	var problems []string
+	badf := func(format string, args ...interface{}) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	used := map[int64]string{} // block -> first claimant
+	claim := func(blk int64, what string) {
+		if blk <= 0 || blk >= int64(fs.sb.BlockCount) {
+			badf("wild pointer: %s -> block %d", what, blk)
+			return
+		}
+		if prev, ok := used[blk]; ok {
+			badf("double-ref: block %d claimed by %s and %s", blk, prev, what)
+			return
+		}
+		used[blk] = what
+	}
+
+	stats := map[objRef]statData{}
+	refs := map[objRef]int{}
+	visited := map[int64]bool{}
+
+	var walk func(blk int64, level int) error
+	walk = func(blk int64, level int) error {
+		if level < 1 {
+			badf("tree deeper than superblock height at block %d", blk)
+			return nil
+		}
+		if visited[blk] {
+			return nil // cycle: already reported as a double-ref by claim
+		}
+		visited[blk] = true
+		claim(blk, fmt.Sprintf("tree node (level %d)", level))
+		n, err := fs.readNode(blk, BTInternal)
+		if err != nil {
+			return err // sanity check fired: detected, not silent
+		}
+		if n.Level != level {
+			badf("block %d has level %d, expected %d", blk, n.Level, level)
+		}
+		if n.isLeaf() {
+			for _, it := range n.Items {
+				r := objRef{DirID: it.K.DirID, ObjID: it.K.ObjID}
+				switch it.K.Type {
+				case itemStat:
+					var sd statData
+					if err := sd.unmarshal(it.Body); err != nil {
+						badf("stat item for (%d,%d): %v", r.DirID, r.ObjID, err)
+						continue
+					}
+					stats[r] = sd
+				case itemDir:
+					ents, ok := parseEnts(it.Body)
+					if !ok {
+						badf("malformed dir item for (%d,%d)", r.DirID, r.ObjID)
+					}
+					for _, e := range ents {
+						refs[e.Child]++
+					}
+				case itemIndirect:
+					for i, p := range ptrsOf(it.Body) {
+						if p != 0 {
+							claim(p, fmt.Sprintf("(%d,%d) indirect[%d]", r.DirID, r.ObjID, i))
+						}
+					}
+				case itemDirect:
+					// tail: inline, no blocks
+				default:
+					badf("unknown item type %d in block %d", it.K.Type, blk)
+				}
+			}
+			return nil
+		}
+		for _, c := range n.Children {
+			if err := walk(c, level-1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(int64(fs.sb.Root), int(fs.sb.Height)); err != nil {
+		return err
+	}
+
+	// Directory entries vs stat items, both directions.
+	for r, cnt := range refs {
+		if _, ok := stats[r]; !ok {
+			badf("dangling entries: (%d,%d) referenced %d time(s) but has no stat item",
+				r.DirID, r.ObjID, cnt)
+		}
+	}
+	root := rootRef()
+	for r, sd := range stats {
+		if r == root {
+			continue
+		}
+		n := refs[r]
+		if n == 0 {
+			badf("orphan object (%d,%d): stat item but no directory entry", r.DirID, r.ObjID)
+			continue
+		}
+		// Directory link conventions vary; enforce equality for files only.
+		if !sd.isDir() && int(sd.Links) != n {
+			badf("link count: (%d,%d) says %d, directory tree says %d",
+				r.DirID, r.ObjID, sd.Links, n)
+		}
+	}
+
+	// Allocation bitmaps vs reachability. Fixed metadata (superblock,
+	// bitmap blocks, journal) is always in use.
+	fixed := func(blk int64) bool {
+		if blk == 0 {
+			return true
+		}
+		if blk >= int64(fs.sb.BitmapStart) && blk < int64(fs.sb.BitmapStart+fs.sb.BitmapLen) {
+			return true
+		}
+		if blk >= int64(fs.sb.JournalStart) && blk < int64(fs.sb.JournalStart+fs.sb.JournalLen) {
+			return true
+		}
+		return false
+	}
+	for bm := int64(0); bm < int64(fs.sb.BitmapLen); bm++ {
+		buf, err := fs.readMetaBlock(int64(fs.sb.BitmapStart)+bm, BTBitmap)
+		if err != nil {
+			return err
+		}
+		for bit := int64(0); bit < bitsPerBlock; bit++ {
+			blk := bm*bitsPerBlock + bit
+			if blk >= int64(fs.sb.BlockCount) {
+				break
+			}
+			marked := buf[bit/8]&(1<<uint(bit%8)) != 0
+			_, reachable := used[blk]
+			inUse := reachable || fixed(blk)
+			switch {
+			case marked && !inUse:
+				badf("bitmap: block %d marked allocated but unreachable", blk)
+			case !marked && inUse:
+				badf("bitmap: block %d in use but marked free", blk)
+			}
+		}
+	}
+
+	if len(problems) > 0 {
+		return fmt.Errorf("%w: reiser: %d problems, first: %s",
+			vfs.ErrInconsistent, len(problems), problems[0])
+	}
+	return nil
+}

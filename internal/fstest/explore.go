@@ -1,0 +1,298 @@
+package fstest
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ironfs/internal/disk"
+	"ironfs/internal/faultinject"
+	"ironfs/internal/iron"
+	"ironfs/internal/vfs"
+)
+
+// Crash-state exploration: run a workload over a volatile write cache
+// (faultinject.CacheDevice), then for every write in the logged stream
+// enumerate the crash states the cache model admits — reordered and torn
+// subsets of the unsealed epoch — materialize each state on a clone of the
+// image, remount (running journal recovery), and grade the result with a
+// per-FS consistency oracle. The grading separates the paper's §6.2
+// headline cleanly: a file system that trusts write ordering replays
+// garbage silently; one with transactional checksums detects it.
+
+// ExploreTarget binds one file system into the harness. The concrete
+// targets live in internal/fingerprint (fstest cannot import the fs
+// packages — their in-package tests import fstest).
+type ExploreTarget struct {
+	// Name labels the target in reports ("ext3", "ixt3", ...).
+	Name string
+	// DiskBlocks overrides the device size for this target (0 = config).
+	DiskBlocks int64
+	// Mkfs formats a fresh device.
+	Mkfs func(dev disk.Device) error
+	// New binds an instance reporting into rec.
+	New func(dev disk.Device, rec *iron.Recorder) vfs.FileSystem
+	// Check is the consistency oracle: nil for a structurally sound
+	// image, an error wrapping vfs.ErrInconsistent for silent damage,
+	// any other error when the file system itself refused the image.
+	Check func(dev disk.Device) error
+}
+
+// ExploreWorkload is a deterministic mutation sequence run on the cached
+// device to generate the write stream under exploration.
+type ExploreWorkload struct {
+	Name string
+	Run  func(fs vfs.FileSystem) error
+}
+
+// Workloads returns the standard exploration workloads: "mkfiles" (create,
+// write, fsync ×3 — the journal commit path) and "churn" (mkdir, create,
+// rename, unlink — the metadata-heavy path).
+func Workloads() []ExploreWorkload {
+	return []ExploreWorkload{
+		{Name: "mkfiles", Run: func(fs vfs.FileSystem) error {
+			var synced []string
+			return CrashWorkload(fs, &synced)
+		}},
+		{Name: "churn", Run: func(fs vfs.FileSystem) error {
+			if err := fs.Mkdir("/d", 0o755); err != nil {
+				return err
+			}
+			for i := 0; i < 2; i++ {
+				p := fmt.Sprintf("/d/f%d", i)
+				if err := fs.Create(p, 0o644); err != nil {
+					return err
+				}
+				if _, err := fs.Write(p, 0, crashPayload(i)); err != nil {
+					return err
+				}
+			}
+			if err := fs.Rename("/d/f0", "/d/g0"); err != nil {
+				return err
+			}
+			if err := fs.Unlink("/d/f1"); err != nil {
+				return err
+			}
+			return fs.Sync()
+		}},
+	}
+}
+
+// ExploreConfig bounds a run.
+type ExploreConfig struct {
+	// DiskBlocks sizes the device (default 1024; targets may override).
+	DiskBlocks int64
+	// Stride samples every Nth write as a crash point (default 1).
+	Stride int
+	// MaxPoints caps the number of crash points (0 = all). Points are
+	// spread evenly over the write stream when capped.
+	MaxPoints int
+	// Policy is the crash-state enumeration policy (zero = defaults).
+	Policy faultinject.EnumPolicy
+	// Workers sets the worker-goroutine count (default GOMAXPROCS, max 8).
+	Workers int
+}
+
+func (c ExploreConfig) withDefaults() ExploreConfig {
+	if c.DiskBlocks == 0 {
+		c.DiskBlocks = 1024
+	}
+	if c.Stride <= 0 {
+		c.Stride = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+		if c.Workers > 8 {
+			c.Workers = 8
+		}
+	}
+	return c
+}
+
+// ExploreResult is the graded outcome of one (target, workload) cell.
+type ExploreResult struct {
+	Target   string
+	Workload string
+	// Writes is the total logged write count; Points of them were used
+	// as crash points; States is the total crash states materialized.
+	Writes, Points, States int
+	// Consistent: mount succeeded, oracle passed, nothing detected.
+	// Detected: mount succeeded and the oracle passed, but the file
+	// system flagged and contained damage along the way.
+	// Refused: the file system rejected the image (mount failed, or a
+	// sanity check aborted the oracle's scan).
+	// Inconsistent: the oracle found structural damage. Silent counts
+	// the subset the file system never flagged — undetected corruption.
+	Consistent, Detected, Refused, Inconsistent, Silent int
+	// FirstSilent describes the first silently corrupt state (state
+	// order, so deterministic), empty if none.
+	FirstSilent string
+}
+
+// String renders one matrix row.
+func (r *ExploreResult) String() string {
+	return fmt.Sprintf("%-14s %-8s writes=%-4d points=%-4d states=%-5d ok=%-5d detected=%-4d refused=%-4d inconsistent=%-4d silent=%d",
+		r.Target, r.Workload, r.Writes, r.Points, r.States,
+		r.Consistent, r.Detected, r.Refused, r.Inconsistent, r.Silent)
+}
+
+// Explore runs the workload on the target over a volatile write cache and
+// grades every enumerated crash state. The run is deterministic for a
+// fixed config and race-free: states are partitioned over workers, each
+// with a private image clone, and results land in indexed slots.
+func Explore(t ExploreTarget, w ExploreWorkload, cfg ExploreConfig) (*ExploreResult, error) {
+	cfg = cfg.withDefaults()
+	blocks := cfg.DiskBlocks
+	if t.DiskBlocks != 0 {
+		blocks = t.DiskBlocks
+	}
+
+	// Format, snapshot the pre-workload image, then run the workload
+	// entirely inside the write cache.
+	base, err := disk.New(blocks, disk.DefaultGeometry(), nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.Mkfs(base); err != nil {
+		return nil, fmt.Errorf("%s mkfs: %w", t.Name, err)
+	}
+	baseImg := base.Snapshot()
+	cache := faultinject.NewCacheDevice(base)
+	rec := iron.NewRecorder()
+	fs := t.New(cache, rec)
+	if err := fs.Mount(); err != nil {
+		return nil, fmt.Errorf("%s mount: %w", t.Name, err)
+	}
+	if err := w.Run(fs); err != nil {
+		return nil, fmt.Errorf("%s workload %s: %w", t.Name, w.Name, err)
+	}
+	log := cache.Log()
+	if len(log) == 0 {
+		return nil, fmt.Errorf("%s workload %s: no writes logged", t.Name, w.Name)
+	}
+
+	// Pick crash points: every Stride-th write, evenly thinned to
+	// MaxPoints if capped.
+	var points []int
+	for i := 0; i < len(log); i += cfg.Stride {
+		points = append(points, i)
+	}
+	if cfg.MaxPoints > 0 && len(points) > cfg.MaxPoints {
+		thinned := make([]int, 0, cfg.MaxPoints)
+		for i := 0; i < cfg.MaxPoints; i++ {
+			thinned = append(thinned, points[i*len(points)/cfg.MaxPoints])
+		}
+		points = thinned
+	}
+
+	// Enumerate up front so states can be partitioned over workers.
+	var states []faultinject.CrashState
+	for _, p := range points {
+		states = append(states, faultinject.EnumerateCrashStates(log, p, cfg.Policy)...)
+	}
+
+	type verdict struct {
+		outcome int // 0 consistent, 1 detected, 2 refused, 3 inconsistent-detected, 4 silent
+		detail  string
+	}
+	const (
+		vConsistent = iota
+		vDetected
+		vRefused
+		vInconsistent
+		vSilent
+	)
+	verdicts := make([]verdict, len(states))
+
+	grade := func(img []byte, st faultinject.CrashState) (verdict, error) {
+		d, err := disk.New(blocks, disk.DefaultGeometry(), nil)
+		if err != nil {
+			return verdict{}, err
+		}
+		if err := d.Restore(img); err != nil {
+			return verdict{}, err
+		}
+		// Recovery mount with a fresh recorder: any Detect event here or
+		// during the oracle scan means the file system saw the damage.
+		mrec := iron.NewRecorder()
+		mfs := t.New(d, mrec)
+		detected := func() bool {
+			for _, e := range mrec.Events() {
+				if e.Detection != iron.DZero {
+					return true
+				}
+			}
+			return false
+		}
+		if err := mfs.Mount(); err != nil {
+			return verdict{vRefused, err.Error()}, nil
+		}
+		err = t.Check(d)
+		switch {
+		case err == nil:
+			if detected() {
+				return verdict{vDetected, ""}, nil
+			}
+			return verdict{vConsistent, ""}, nil
+		case errors.Is(err, vfs.ErrInconsistent):
+			if detected() {
+				return verdict{vInconsistent, err.Error()}, nil
+			}
+			return verdict{vSilent, fmt.Sprintf("%s: %v", st, err)}, nil
+		default:
+			// The oracle's own mount/scan hit a detected failure.
+			return verdict{vRefused, err.Error()}, nil
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Workers)
+	for wk := 0; wk < cfg.Workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			img := make([]byte, len(baseImg))
+			for i := wk; i < len(states); i += cfg.Workers {
+				copy(img, baseImg)
+				faultinject.ApplyCrashStateTo(img, int(disk.DefaultGeometry().BlockSize), log, states[i], cfg.Policy)
+				v, err := grade(img, states[i])
+				if err != nil {
+					errs[wk] = err
+					return
+				}
+				verdicts[i] = v
+			}
+		}(wk)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &ExploreResult{
+		Target: t.Name, Workload: w.Name,
+		Writes: len(log), Points: len(points), States: len(states),
+	}
+	for _, v := range verdicts {
+		switch v.outcome {
+		case vConsistent:
+			res.Consistent++
+		case vDetected:
+			res.Detected++
+		case vRefused:
+			res.Refused++
+		case vInconsistent:
+			res.Inconsistent++
+		case vSilent:
+			res.Inconsistent++
+			res.Silent++
+			if res.FirstSilent == "" {
+				res.FirstSilent = v.detail
+			}
+		}
+	}
+	return res, nil
+}

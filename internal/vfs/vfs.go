@@ -27,6 +27,11 @@ var (
 	ErrPanicked    = errors.New("vfs: file system panicked (system crash)") //
 	ErrCorrupt     = errors.New("vfs: file system structure corrupt")       //
 	ErrNoInodes    = errors.New("vfs: out of inodes")                       //
+	// ErrInconsistent is returned by per-FS consistency oracles
+	// (fsck-style Check functions) when the on-disk structures are
+	// damaged in a way the file system itself did NOT detect — i.e.
+	// silent corruption. It is never returned by regular operations.
+	ErrInconsistent = errors.New("vfs: file system inconsistent (oracle)")
 )
 
 // FileType is the type of a file system object.
