@@ -5,10 +5,17 @@
 //
 // Usage:
 //
-//	ironbench [-table6] [-space] [-single] [-bench SSH|Web|Post|TPCB]
+//	ironbench [-table6] [-space] [-single] [-bench SSH|Web|Post|TPCB] [-json]
+//
+// With -json the selected studies are emitted as one machine-readable JSON
+// document on stdout (per-variant simulated times and normalized ratios,
+// plus per-profile space overheads) instead of the rendered tables. The
+// simulator is deterministic, so committed snapshots (BENCH_N.json) pin
+// the performance profile across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +28,7 @@ func main() {
 	single := flag.Bool("single", false, "run only the single-mechanism rows plus the full combination")
 	space := flag.Bool("space", false, "run the space-overhead study")
 	benchName := flag.String("bench", "", "restrict to one workload (SSH, Web, Post, TPCB)")
+	asJSON := flag.Bool("json", false, "emit results as a JSON document instead of rendered tables")
 	flag.Parse()
 
 	var benches []workload.Benchmark
@@ -33,6 +41,8 @@ func main() {
 		benches = []workload.Benchmark{b}
 	}
 
+	var doc workload.BenchJSON
+
 	if *table6 {
 		variants := workload.Variants()
 		if *single {
@@ -43,13 +53,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ironbench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Println("Table 6: relative run time of ixt3 variants (1.00 = stock ext3;")
-		fmt.Println("speedups in [brackets], as in the paper)")
-		fmt.Println(t.Render())
+		if *asJSON {
+			doc.Table6 = t.JSON()
+		} else {
+			fmt.Println("Table 6: relative run time of ixt3 variants (1.00 = stock ext3;")
+			fmt.Println("speedups in [brackets], as in the paper)")
+			fmt.Println(t.Render())
+		}
 	}
 
 	if *space {
-		fmt.Println("Space overheads (§6.2): per-mechanism cost as % of used volume")
 		var reports []workload.SpaceReport
 		for _, p := range workload.Profiles() {
 			r, err := workload.RunSpaceStudy(p)
@@ -59,6 +72,22 @@ func main() {
 			}
 			reports = append(reports, r)
 		}
-		fmt.Println(workload.RenderSpace(reports))
+		if *asJSON {
+			for _, r := range reports {
+				doc.Space = append(doc.Space, r.JSON())
+			}
+		} else {
+			fmt.Println("Space overheads (§6.2): per-mechanism cost as % of used volume")
+			fmt.Println(workload.RenderSpace(reports))
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintf(os.Stderr, "ironbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -13,17 +13,28 @@
 //
 //	ironcrash [-fs ext3|ext3-nobarrier|ixt3|reiserfs|jfs|ntfs|all]
 //	          [-workload mkfiles|churn|all] [-points N] [-window N]
-//	          [-samples N] [-seed N] [-short] [-v]
+//	          [-samples N] [-seed N] [-short] [-v] [-trace FILE]
+//
+// The "barriers" column is the number of ordering points the workload
+// actually issued, counted from observed cache-layer barrier events — the
+// evidence behind every "this variant cannot express ordering" claim
+// (ext3-nobarrier shows 0 between journal payload and commit; stock ext3
+// does not). With -trace, the workload trace and every crash state's
+// recovery trace are dumped as one NDJSON stream to FILE (- for stdout);
+// inspect with cmd/irontrace.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ironfs/internal/faultinject"
 	"ironfs/internal/fingerprint"
 	"ironfs/internal/fstest"
+	"ironfs/internal/trace"
 )
 
 func main() {
@@ -35,6 +46,7 @@ func main() {
 	seed := flag.Int64("seed", faultinject.DefaultSeed, "enumeration seed (exploration is deterministic per seed)")
 	short := flag.Bool("short", false, "smoke mode: few crash points, small windows")
 	verbose := flag.Bool("v", false, "print the first silently corrupt state per cell")
+	traceFile := flag.String("trace", "", "dump workload and per-state evidence traces as NDJSON to FILE (- for stdout)")
 	flag.Parse()
 
 	var targets []fstest.ExploreTarget
@@ -80,9 +92,26 @@ func main() {
 		cfg.Policy.Samples = 4
 	}
 
+	var traceOut io.Writer
+	var traceFlush func() error
+	if *traceFile == "-" {
+		traceOut = os.Stdout
+	} else if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ironcrash: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		traceFlush = bw.Flush
+		traceOut = bw
+	}
+	cfg.Trace = traceOut != nil
+
 	fmt.Printf("ironcrash: enumeration seed %#x (window=%d)\n\n", *seed, cfg.Policy.Window)
-	fmt.Printf("%-14s %-8s %7s %7s %7s %7s %9s %8s %13s %7s\n",
-		"fs", "workload", "writes", "points", "states", "ok", "detected", "refused", "inconsistent", "SILENT")
+	fmt.Printf("%-14s %-8s %7s %8s %7s %7s %7s %9s %8s %13s %7s\n",
+		"fs", "workload", "writes", "barriers", "points", "states", "ok", "detected", "refused", "inconsistent", "SILENT")
 
 	exit := 0
 	for _, t := range targets {
@@ -93,12 +122,37 @@ func main() {
 				exit = 1
 				continue
 			}
-			fmt.Printf("%-14s %-8s %7d %7d %7d %7d %9d %8d %13d %7d\n",
-				res.Target, res.Workload, res.Writes, res.Points, res.States,
+			fmt.Printf("%-14s %-8s %7d %8d %7d %7d %7d %9d %8d %13d %7d\n",
+				res.Target, res.Workload, res.Writes, res.Barriers, res.Points, res.States,
 				res.Consistent, res.Detected, res.Refused, res.Inconsistent, res.Silent)
 			if *verbose && res.FirstSilent != "" {
 				fmt.Printf("    first silent: %s\n", res.FirstSilent)
 			}
+			if *verbose && cfg.Trace {
+				for _, sr := range res.StateResults {
+					if sr.Outcome == "silent" {
+						fmt.Printf("    state %-16s epoch=%d outcome=%s\n", sr.State, sr.Epoch, sr.Outcome)
+					}
+				}
+			}
+			if traceOut != nil {
+				if err := trace.WriteNDJSON(traceOut, res.WorkloadTrace); err != nil {
+					fmt.Fprintf(os.Stderr, "ironcrash: writing trace: %v\n", err)
+					os.Exit(1)
+				}
+				for _, sr := range res.StateResults {
+					if err := trace.WriteNDJSON(traceOut, sr.Trace); err != nil {
+						fmt.Fprintf(os.Stderr, "ironcrash: writing trace: %v\n", err)
+						os.Exit(1)
+					}
+				}
+			}
+		}
+	}
+	if traceFlush != nil {
+		if err := traceFlush(); err != nil {
+			fmt.Fprintf(os.Stderr, "ironcrash: flushing trace: %v\n", err)
+			exit = 1
 		}
 	}
 	fmt.Println()

@@ -5,17 +5,26 @@
 // Usage:
 //
 //	ironfp [-fs ext3|reiserfs|jfs|ntfs|ixt3|all] [-fault read|write|corrupt|all]
-//	       [-summary] [-robust] [-seed N]
+//	       [-summary] [-robust] [-seed N] [-trace FILE]
+//
+// With -trace, every faulted scenario carries an evidence trace — the
+// semantic event stream (disk I/O, fault injections, journal phases,
+// detections, recoveries) behind its matrix cell — and all of them are
+// dumped as one NDJSON stream to FILE (use - for stdout). Inspect with
+// cmd/irontrace.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ironfs/internal/faultinject"
 	"ironfs/internal/fingerprint"
 	"ironfs/internal/iron"
+	"ironfs/internal/trace"
 )
 
 func main() {
@@ -25,6 +34,7 @@ func main() {
 	robust := flag.Bool("robust", false, "print detected/recovered scenario counts (the §6.2 robustness metric)")
 	transient := flag.Bool("transient", false, "run the transient-fault tolerance study (§5.6: retry is underutilized)")
 	seed := flag.Int64("seed", faultinject.DefaultSeed, "corruption-noise RNG seed (log this to reproduce a run)")
+	traceFile := flag.String("trace", "", "dump per-scenario evidence traces as NDJSON to FILE (- for stdout)")
 	flag.Parse()
 
 	// Always log the seed so a corruption-noise failure in any run can be
@@ -58,12 +68,38 @@ func main() {
 		os.Exit(2)
 	}
 
-	var counts []iron.TechniqueCounts
-	for _, t := range targets {
-		res, err := fingerprint.Run(t, fingerprint.Config{Faults: faults, Seed: *seed})
+	var traceOut io.Writer
+	if *traceFile == "-" {
+		traceOut = os.Stdout
+	} else if *traceFile != "" {
+		f, err := os.Create(*traceFile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ironfp: %v\n", err)
 			os.Exit(1)
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		defer bw.Flush()
+		traceOut = bw
+	}
+
+	var counts []iron.TechniqueCounts
+	for _, t := range targets {
+		res, err := fingerprint.Run(t, fingerprint.Config{Faults: faults, Seed: *seed, Trace: traceOut != nil})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ironfp: %v\n", err)
+			os.Exit(1)
+		}
+		if traceOut != nil {
+			for _, s := range res.Scenarios {
+				if len(s.Trace) == 0 {
+					continue
+				}
+				if err := trace.WriteNDJSON(traceOut, s.Trace); err != nil {
+					fmt.Fprintf(os.Stderr, "ironfp: writing trace: %v\n", err)
+					os.Exit(1)
+				}
+			}
 		}
 		for _, fc := range faults {
 			fmt.Println(res.Matrices[fc].Render())

@@ -1,0 +1,155 @@
+// Command irontrace inspects NDJSON evidence traces produced by
+// ironfp -trace and ironcrash -trace: per-layer/per-type summaries with
+// simulated-time latency histograms, event filtering, and trace diffing.
+//
+// Usage:
+//
+//	irontrace [-summary] [-events] [-layer L] [-kind K] [-type T]
+//	          [-fault F] [-block N] FILE [FILE2]
+//
+// With one FILE (or - for stdin) the default mode prints the summary;
+// -events dumps the (filtered) events back out as NDJSON instead. With two
+// files the summaries are diffed: identical traces print nothing and exit
+// 0, diverging traces print the differing counters, the first diverging
+// event of each stream, and exit 1 — the tool behind the "identical runs
+// yield byte-identical traces" guarantee.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ironfs/internal/trace"
+)
+
+func main() {
+	summary := flag.Bool("summary", false, "print the per-layer/per-type summary (the default mode)")
+	events := flag.Bool("events", false, "dump (filtered) events as NDJSON instead of summarizing")
+	layer := flag.String("layer", "", "keep only events from this layer (disk, fault, cache, bcache, fs, harness)")
+	kind := flag.String("kind", "", "keep only events of this kind (read, write, barrier, fault, hit, miss, evict, phase, detect, recover, mark)")
+	typ := flag.String("type", "", "keep only events tagged with this block type (inode, data, jcommit, ...)")
+	fault := flag.String("fault", "", "keep only fault events of this class (read-failure, write-failure, corruption, ...)")
+	block := flag.Int64("block", trace.NoBlock, "keep only events touching this block number")
+	flag.Parse()
+
+	if flag.NArg() < 1 || flag.NArg() > 2 {
+		fmt.Fprintln(os.Stderr, "usage: irontrace [flags] FILE [FILE2]  (see -h)")
+		os.Exit(2)
+	}
+
+	evs, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "irontrace: %v\n", err)
+		os.Exit(1)
+	}
+	evs = filter(evs, *layer, *kind, *typ, *fault, *block)
+
+	if flag.NArg() == 2 {
+		evs2, err := load(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "irontrace: %v\n", err)
+			os.Exit(1)
+		}
+		evs2 = filter(evs2, *layer, *kind, *typ, *fault, *block)
+		os.Exit(diff(evs, evs2))
+	}
+
+	if *events {
+		if err := trace.WriteNDJSON(os.Stdout, evs); err != nil {
+			fmt.Fprintf(os.Stderr, "irontrace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	_ = *summary // -summary is the default; the flag exists for explicitness
+	fmt.Print(trace.Summarize(evs).Render())
+}
+
+// load reads one NDJSON stream ("-" = stdin).
+func load(path string) ([]trace.Event, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return trace.ReadNDJSON(r)
+}
+
+// filter keeps events matching every supplied criterion.
+func filter(evs []trace.Event, layer, kind, typ, fault string, block int64) []trace.Event {
+	if layer == "" && kind == "" && typ == "" && fault == "" && block == trace.NoBlock {
+		return evs
+	}
+	out := make([]trace.Event, 0, len(evs))
+	for _, e := range evs {
+		if layer != "" && e.Layer != layer {
+			continue
+		}
+		if kind != "" && e.Kind != kind {
+			continue
+		}
+		if typ != "" && e.Type != typ {
+			continue
+		}
+		if fault != "" && e.Fault != fault {
+			continue
+		}
+		if block != trace.NoBlock && e.Block != block {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// diff compares two traces: summary counter deltas plus the first
+// diverging event. Returns the process exit code.
+func diff(a, b []trace.Event) int {
+	d := trace.Diff(trace.Summarize(a), trace.Summarize(b))
+	same := d == ""
+	// Counters can agree while event order differs; check the streams too.
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	firstDiverge := -1
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			firstDiverge = i
+			break
+		}
+	}
+	if firstDiverge < 0 && len(a) != len(b) {
+		firstDiverge = n
+	}
+	if same && firstDiverge < 0 {
+		return 0
+	}
+	if d != "" {
+		fmt.Print(d)
+	}
+	if firstDiverge >= 0 {
+		fmt.Printf("first divergence at event %d:\n", firstDiverge)
+		show := func(name string, evs []trace.Event) {
+			if firstDiverge < len(evs) {
+				line, err := trace.EncodeNDJSON(evs[firstDiverge : firstDiverge+1])
+				if err == nil {
+					fmt.Printf("  %s: %s", name, line)
+				}
+			} else {
+				fmt.Printf("  %s: <end of trace (%d events)>\n", name, len(evs))
+			}
+		}
+		show("a", a)
+		show("b", b)
+	}
+	return 1
+}

@@ -3,7 +3,11 @@
 // this repository.
 package bcache
 
-import "container/list"
+import (
+	"container/list"
+
+	"ironfs/internal/trace"
+)
 
 // Cache is a simple LRU buffer cache standing in for the page cache.
 // Clean blocks may be evicted at any time; dirty blocks are pinned until
@@ -13,6 +17,9 @@ type Cache struct {
 	cap     int
 	entries map[int64]*entry
 	lru     *list.List // front = most recent; values are *entry
+	// tr, when set, receives a hit/miss event per lookup and an evict
+	// event per capacity eviction. Nil costs nothing.
+	tr *trace.Tracer
 }
 
 type entry struct {
@@ -30,14 +37,21 @@ func New(capBlocks int) *Cache {
 	return &Cache{cap: capBlocks, entries: make(map[int64]*entry), lru: list.New()}
 }
 
+// SetTracer attaches the run's tracer; file systems wire it from the
+// device they mount (trace.Of) so buffer-cache behavior shows up in the
+// same evidence trace as the I/O it absorbs or causes.
+func (c *Cache) SetTracer(tr *trace.Tracer) { c.tr = tr }
+
 // get returns the cached data for block n, or nil on a miss. The returned
 // slice aliases the cache; callers mutating it must also call markDirty.
 func (c *Cache) Get(n int64) []byte {
 	e, ok := c.entries[n]
 	if !ok {
+		c.tr.Buffer(trace.KindMiss, n)
 		return nil
 	}
 	c.lru.MoveToFront(e.elem)
+	c.tr.Buffer(trace.KindHit, n)
 	return e.data
 }
 
@@ -107,5 +121,6 @@ func (c *Cache) evict() {
 		}
 		c.lru.Remove(victim.elem)
 		delete(c.entries, victim.block)
+		c.tr.Buffer(trace.KindEvict, victim.block)
 	}
 }

@@ -95,7 +95,22 @@ type Stats struct {
 	BusyTime Duration
 }
 
-// String summarizes the stats on one line.
+// String summarizes the stats on one line, all six fields included.
 func (s Stats) String() string {
-	return fmt.Sprintf("reads=%d writes=%d busy=%v", s.Reads, s.Writes, s.BusyTime)
+	return fmt.Sprintf("reads=%d writes=%d barriers=%d bytesRead=%d bytesWritten=%d busy=%v",
+		s.Reads, s.Writes, s.Barriers, s.BytesRead, s.BytesWritten, s.BusyTime)
+}
+
+// Sub returns the field-wise difference s - prev: the traffic serviced
+// between two snapshots. Harnesses use it instead of hand-subtracting
+// individual counters.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Reads:        s.Reads - prev.Reads,
+		Writes:       s.Writes - prev.Writes,
+		Barriers:     s.Barriers - prev.Barriers,
+		BytesRead:    s.BytesRead - prev.BytesRead,
+		BytesWritten: s.BytesWritten - prev.BytesWritten,
+		BusyTime:     s.BusyTime - prev.BusyTime,
+	}
 }

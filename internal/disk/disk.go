@@ -5,6 +5,8 @@ import (
 	"math"
 	"sort"
 	"sync"
+
+	"ironfs/internal/trace"
 )
 
 // Geometry describes the simulated disk's mechanical characteristics. The
@@ -66,6 +68,9 @@ type Disk struct {
 	// the first are served from the buffer at transfer cost alone.
 	bufTrack int64
 	stats    Stats
+	// tr, when set, receives a mechanical-layer event per serviced I/O.
+	// A nil tracer costs nothing on the hot path (the Table 6 bar).
+	tr *trace.Tracer
 }
 
 // New returns a simulated disk of the given number of blocks using the
@@ -92,6 +97,22 @@ func New(numBlocks int64, geom Geometry, clock *Clock) (*Disk, error) {
 
 // Clock returns the simulated clock the disk advances.
 func (d *Disk) Clock() *Clock { return d.clock }
+
+// SetTracer attaches a tracer to the disk. Attach it before wrapping the
+// disk in higher layers (fault injection, file systems): they discover the
+// run's tracer from the device below them via trace.Of.
+func (d *Disk) SetTracer(tr *trace.Tracer) {
+	d.mu.Lock()
+	d.tr = tr
+	d.mu.Unlock()
+}
+
+// Tracer implements trace.Provider.
+func (d *Disk) Tracer() *trace.Tracer {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.tr
+}
 
 // Geometry returns the disk's geometry.
 func (d *Disk) Geometry() Geometry { return d.geom }
@@ -126,6 +147,9 @@ func (d *Disk) Barrier() error {
 		return ErrClosed
 	}
 	d.stats.Barriers++
+	if d.tr.Enabled() {
+		d.tr.Barrier(trace.LayerDisk, int64(d.clock.Now()), 0, 0)
+	}
 	return nil
 }
 
@@ -201,12 +225,19 @@ func (d *Disk) ReadBlock(n int64, buf []byte) error {
 	if err := d.check(n, buf); err != nil {
 		return err
 	}
+	var start Duration
+	if d.tr.Enabled() {
+		start = d.clock.Now()
+	}
 	d.clock.Advance(d.geom.CmdOverhead)
 	d.serviceReadLocked(n)
 	off := n * int64(d.geom.BlockSize)
 	copy(buf, d.data[off:off+int64(d.geom.BlockSize)])
 	d.stats.Reads++
 	d.stats.BytesRead += int64(d.geom.BlockSize)
+	if d.tr.Enabled() {
+		d.tr.IO(trace.LayerDisk, trace.KindRead, n, "", int64(start), int64(d.clock.Now()-start), nil)
+	}
 	return nil
 }
 
@@ -217,12 +248,19 @@ func (d *Disk) WriteBlock(n int64, buf []byte) error {
 	if err := d.check(n, buf); err != nil {
 		return err
 	}
+	var start Duration
+	if d.tr.Enabled() {
+		start = d.clock.Now()
+	}
 	d.clock.Advance(d.geom.CmdOverhead)
 	d.serviceLocked(n)
 	off := n * int64(d.geom.BlockSize)
 	copy(d.data[off:off+int64(d.geom.BlockSize)], buf)
 	d.stats.Writes++
 	d.stats.BytesWritten += int64(d.geom.BlockSize)
+	if d.tr.Enabled() {
+		d.tr.IO(trace.LayerDisk, trace.KindWrite, n, "", int64(start), int64(d.clock.Now()-start), nil)
+	}
 	return nil
 }
 
@@ -241,6 +279,9 @@ func (d *Disk) WriteBatch(reqs []Request) error {
 	sort.Slice(order, func(a, b int) bool { return reqs[order[a]].Block < reqs[order[b]].Block })
 	if len(reqs) > 0 {
 		// One command overhead covers the whole queued batch.
+		if d.tr.Enabled() {
+			d.tr.Batch(int64(d.clock.Now()), len(reqs))
+		}
 		d.clock.Advance(d.geom.CmdOverhead)
 	}
 	for _, i := range order {
@@ -248,11 +289,18 @@ func (d *Disk) WriteBatch(reqs []Request) error {
 		if err := d.check(r.Block, r.Data); err != nil {
 			return err
 		}
+		var start Duration
+		if d.tr.Enabled() {
+			start = d.clock.Now()
+		}
 		d.serviceLocked(r.Block)
 		off := r.Block * int64(d.geom.BlockSize)
 		copy(d.data[off:off+int64(d.geom.BlockSize)], r.Data)
 		d.stats.Writes++
 		d.stats.BytesWritten += int64(d.geom.BlockSize)
+		if d.tr.Enabled() {
+			d.tr.IO(trace.LayerDisk, trace.KindWrite, r.Block, "", int64(start), int64(d.clock.Now()-start), nil)
+		}
 	}
 	return nil
 }

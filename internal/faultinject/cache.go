@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"ironfs/internal/disk"
+	"ironfs/internal/trace"
 )
 
 // CacheDevice models a disk with a volatile write cache and no forced
@@ -25,11 +26,18 @@ import (
 // log via EnumerateCrashStates and ApplyCrashState.
 type CacheDevice struct {
 	inner disk.Device
+	// tr is the run's tracer, inherited from the wrapped device: every
+	// absorbed write is traced with its epoch and the open-epoch queue
+	// depth, every barrier with the epoch it sealed — the observed
+	// ordering evidence crash verdicts are asserted against.
+	tr *trace.Tracer
 
 	mu      sync.Mutex
 	log     []WriteRecord
 	overlay map[int64][]byte
 	epoch   int
+	// open counts writes absorbed into the open epoch (trace depth).
+	open int
 }
 
 // WriteRecord is one logged write: the Seq-th write overall, targeting
@@ -44,8 +52,11 @@ type WriteRecord struct {
 // NewCacheDevice wraps dev with a volatile write cache. The wrapped
 // device is never written; it supplies the pre-workload image for reads.
 func NewCacheDevice(dev disk.Device) *CacheDevice {
-	return &CacheDevice{inner: dev, overlay: make(map[int64][]byte)}
+	return &CacheDevice{inner: dev, tr: trace.Of(dev), overlay: make(map[int64][]byte)}
 }
+
+// Tracer implements trace.Provider.
+func (c *CacheDevice) Tracer() *trace.Tracer { return c.tr }
 
 // ReadBlock implements disk.Device: cached data wins over the media.
 func (c *CacheDevice) ReadBlock(n int64, buf []byte) error {
@@ -73,6 +84,8 @@ func (c *CacheDevice) WriteBlock(n int64, buf []byte) error {
 	copy(data, buf)
 	c.log = append(c.log, WriteRecord{Seq: len(c.log), Block: n, Epoch: c.epoch, Data: data})
 	c.overlay[n] = data
+	c.open++
+	c.tr.CacheWrite(n, c.epoch, c.open)
 	return nil
 }
 
@@ -92,8 +105,11 @@ func (c *CacheDevice) WriteBatch(reqs []disk.Request) error {
 // happens after it.
 func (c *CacheDevice) Barrier() error {
 	c.mu.Lock()
+	sealed, depth := c.epoch, c.open
 	c.epoch++
+	c.open = 0
 	c.mu.Unlock()
+	c.tr.Barrier(trace.LayerCache, -1, sealed, depth)
 	return c.inner.Barrier()
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"ironfs/internal/disk"
+	"ironfs/internal/trace"
 )
 
 // ErrCrashed is the sentinel for all simulated-crash failures. Devices
@@ -51,6 +52,10 @@ type CrashDevice struct {
 func NewCrashDevice(dev disk.Device, limit int64) *CrashDevice {
 	return &CrashDevice{inner: dev, limit: limit}
 }
+
+// Tracer implements trace.Provider by passing the inner device's tracer
+// through, so file systems above a crash device stay wired.
+func (c *CrashDevice) Tracer() *trace.Tracer { return trace.Of(c.inner) }
 
 // Crashed reports whether the crash point has been reached.
 func (c *CrashDevice) Crashed() bool {

@@ -18,6 +18,7 @@ import (
 
 	"ironfs/internal/disk"
 	"ironfs/internal/iron"
+	"ironfs/internal/trace"
 )
 
 // TypeResolver classifies a raw block number as one of the file system's
@@ -96,6 +97,10 @@ type TraceEntry struct {
 type Device struct {
 	inner    disk.Device
 	resolver TypeResolver
+	// tr is the run's semantic tracer, discovered from the inner device
+	// at construction (trace.Of); the fault layer contributes the
+	// type-classified view of every I/O plus fault-firing events.
+	tr *trace.Tracer
 
 	mu      sync.Mutex
 	faults  []*Fault
@@ -121,11 +126,16 @@ func New(dev disk.Device, resolver TypeResolver) *Device {
 // NewSeeded is New with a caller-supplied RNG seed, so corruption-noise
 // failures seen in one run can be replayed exactly.
 func NewSeeded(dev disk.Device, resolver TypeResolver, seed int64) *Device {
-	return &Device{inner: dev, resolver: resolver, seed: seed, rng: rand.New(rand.NewSource(seed)), tracing: true}
+	return &Device{inner: dev, resolver: resolver, tr: trace.Of(dev),
+		seed: seed, rng: rand.New(rand.NewSource(seed)), tracing: true}
 }
 
 // Seed returns the seed the corruption RNG was created with.
 func (d *Device) Seed() int64 { return d.seed }
+
+// Tracer implements trace.Provider, so file systems built over the fault
+// layer inherit the run's tracer.
+func (d *Device) Tracer() *trace.Tracer { return d.tr }
 
 // SetResolver installs (or replaces) the type resolver.
 func (d *Device) SetResolver(r TypeResolver) {
@@ -246,12 +256,23 @@ func (d *Device) matchLocked(class iron.FaultClass, bt iron.BlockType, block int
 	return nil
 }
 
-func (d *Device) record(op disk.Op, block int64, bt iron.BlockType, faulted bool, err error) {
+// record logs one I/O into the applicability trace and, when a tracer is
+// attached, emits the type-classified event: at is the simulated start
+// time, svc the service duration (both 0 when the I/O never reached the
+// media).
+func (d *Device) record(op disk.Op, block int64, bt iron.BlockType, faulted bool, err error, at, svc int64) {
 	d.mu.Lock()
 	if d.tracing {
 		d.trace = append(d.trace, TraceEntry{Op: op, Block: block, Type: bt, Faulted: faulted, Err: err})
 	}
 	d.mu.Unlock()
+	if d.tr.Enabled() {
+		kind := trace.KindRead
+		if op == disk.OpWrite {
+			kind = trace.KindWrite
+		}
+		d.tr.IO(trace.LayerFault, kind, block, bt, at, svc, err)
+	}
 }
 
 // defaultCorrupt overwrites the block with deterministic pseudo-random
@@ -270,17 +291,19 @@ func (d *Device) defaultCorrupt(data []byte) {
 // corruption reads the real data and then mutates the returned buffer.
 func (d *Device) ReadBlock(n int64, buf []byte) error {
 	bt := d.classify(n)
+	at := d.tr.Now()
 
 	d.mu.Lock()
 	fail := d.matchLocked(iron.ReadFailure, bt, n)
 	d.mu.Unlock()
 	if fail != nil {
-		d.record(disk.OpRead, n, bt, true, disk.ErrIO)
+		d.tr.FaultFired(iron.ReadFailure, n, bt, fail.Sticky)
+		d.record(disk.OpRead, n, bt, true, disk.ErrIO, at, 0)
 		return disk.ErrIO
 	}
 
 	if err := d.inner.ReadBlock(n, buf); err != nil {
-		d.record(disk.OpRead, n, bt, false, err)
+		d.record(disk.OpRead, n, bt, false, err, at, d.tr.Now()-at)
 		return err
 	}
 
@@ -293,10 +316,11 @@ func (d *Device) ReadBlock(n int64, buf []byte) error {
 		} else {
 			d.defaultCorrupt(buf)
 		}
-		d.record(disk.OpRead, n, bt, true, nil)
+		d.tr.FaultFired(iron.Corruption, n, bt, corrupt.Sticky)
+		d.record(disk.OpRead, n, bt, true, nil, at, d.tr.Now()-at)
 		return nil
 	}
-	d.record(disk.OpRead, n, bt, false, nil)
+	d.record(disk.OpRead, n, bt, false, nil, at, d.tr.Now()-at)
 	return nil
 }
 
@@ -314,12 +338,14 @@ func (d *Device) WriteBlock(n int64, buf []byte) error {
 // misdirected) to a single block write.
 func (d *Device) writeOne(n int64, buf []byte) error {
 	bt := d.classify(n)
+	at := d.tr.Now()
 
 	d.mu.Lock()
 	fail := d.matchLocked(iron.WriteFailure, bt, n)
 	d.mu.Unlock()
 	if fail != nil {
-		d.record(disk.OpWrite, n, bt, true, disk.ErrIO)
+		d.tr.FaultFired(iron.WriteFailure, n, bt, fail.Sticky)
+		d.record(disk.OpWrite, n, bt, true, disk.ErrIO, at, 0)
 		return disk.ErrIO
 	}
 
@@ -327,7 +353,8 @@ func (d *Device) writeOne(n int64, buf []byte) error {
 	phantom := d.matchLocked(iron.PhantomWrite, bt, n)
 	d.mu.Unlock()
 	if phantom != nil {
-		d.record(disk.OpWrite, n, bt, true, nil)
+		d.tr.FaultFired(iron.PhantomWrite, n, bt, phantom.Sticky)
+		d.record(disk.OpWrite, n, bt, true, nil, at, 0)
 		return nil // "completed" — the media never sees it
 	}
 
@@ -339,13 +366,14 @@ func (d *Device) writeOne(n int64, buf []byte) error {
 		if target >= d.inner.NumBlocks() {
 			target = n - 1
 		}
+		d.tr.FaultFired(iron.MisdirectedWrite, n, bt, misdir.Sticky)
 		err := d.inner.WriteBlock(target, buf)
-		d.record(disk.OpWrite, n, bt, true, err)
+		d.record(disk.OpWrite, n, bt, true, err, at, d.tr.Now()-at)
 		return err // correct data, wrong location, success reported
 	}
 
 	err := d.inner.WriteBlock(n, buf)
-	d.record(disk.OpWrite, n, bt, false, err)
+	d.record(disk.OpWrite, n, bt, false, err, at, d.tr.Now()-at)
 	return err
 }
 

@@ -102,7 +102,7 @@ func TestExt3TruncateFailsSilently(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, fdev, _, fs, err := instance(target, cfg, img)
+	_, fdev, _, fs, _, err := instance(target, cfg, img)
 	if err != nil {
 		t.Fatal(err)
 	}

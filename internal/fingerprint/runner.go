@@ -6,6 +6,7 @@ import (
 	"ironfs/internal/disk"
 	"ironfs/internal/faultinject"
 	"ironfs/internal/iron"
+	"ironfs/internal/trace"
 	"ironfs/internal/vfs"
 )
 
@@ -21,6 +22,11 @@ type Config struct {
 	// Seed seeds the corruption-noise RNG (default
 	// faultinject.DefaultSeed). Logged by cmd/ironfp for reproducibility.
 	Seed int64
+	// Trace attaches an evidence trace to every faulted scenario: each
+	// cell of the matrix carries the semantic event stream (disk I/O,
+	// fault injections, journal phases, detections, recoveries) that
+	// produced its verdict. Off by default — tracing is allocation-heavy.
+	Trace bool
 }
 
 func (c Config) withDefaults() Config {
@@ -51,6 +57,8 @@ type Scenario struct {
 	Recovery  iron.RecoverySet
 	// Health is the file system's state after the workload.
 	Health vfs.HealthState
+	// Trace is the scenario's evidence trace (nil unless Config.Trace).
+	Trace []trace.Event
 }
 
 // Result is a complete fingerprint of one file system.
@@ -199,11 +207,11 @@ func buildImage(t Target, cfg Config, dirty bool) ([]byte, error) {
 	if err := scratch.Restore(clean); err != nil {
 		return nil, err
 	}
-	before := scratch.Stats().Writes
+	before := scratch.Stats()
 	if err := dirtyImage(t.New(scratch, nil)); err != nil {
 		return nil, err
 	}
-	writes := scratch.Stats().Writes - before
+	writes := scratch.Stats().Sub(before).Writes
 
 	// Real run: crash one write before the end. Errors are the crash
 	// itself surfacing through the file system and are expected.
@@ -225,25 +233,33 @@ func buildImage(t Target, cfg Config, dirty bool) ([]byte, error) {
 }
 
 // instance builds a fresh (disk, fault layer, recorder, fs) stack over an
-// image snapshot.
-func instance(t Target, cfg Config, img []byte) (*disk.Disk, *faultinject.Device, *iron.Recorder, vfs.FileSystem, error) {
+// image snapshot. With cfg.Trace, a tracer driven by the fresh disk's
+// simulated clock is attached before the upper layers are constructed (they
+// capture it via trace.Of), and recorder events are bridged into it.
+func instance(t Target, cfg Config, img []byte) (*disk.Disk, *faultinject.Device, *iron.Recorder, vfs.FileSystem, *trace.Tracer, error) {
 	d, err := disk.New(cfg.DiskBlocks, disk.DefaultGeometry(), nil)
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, nil, nil, nil, err
 	}
 	if err := d.Restore(img); err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, nil, nil, nil, err
+	}
+	var tr *trace.Tracer
+	if cfg.Trace {
+		tr = trace.New(func() int64 { return int64(d.Clock().Now()) })
+		d.SetTracer(tr)
 	}
 	fdev := faultinject.NewSeeded(d, t.NewResolver(d), cfg.Seed)
 	rec := iron.NewRecorder()
+	tr.BridgeRecorder(rec)
 	fs := t.New(fdev, rec)
-	return d, fdev, rec, fs, nil
+	return d, fdev, rec, fs, tr, nil
 }
 
 // goldenTrace runs a workload fault-free and returns its per-type access
 // counts (the applicability mask).
 func goldenTrace(t Target, cfg Config, w Workload, img []byte) (map[iron.BlockType][2]int, error) {
-	_, fdev, _, fs, err := instance(t, cfg, img)
+	_, fdev, _, fs, _, err := instance(t, cfg, img)
 	if err != nil {
 		return nil, err
 	}
@@ -261,10 +277,12 @@ func goldenTrace(t Target, cfg Config, w Workload, img []byte) (map[iron.BlockTy
 
 // runScenario executes one faulted experiment.
 func runScenario(t Target, cfg Config, w Workload, img []byte, bt iron.BlockType, fc iron.FaultClass) (Scenario, error) {
-	_, fdev, rec, fs, err := instance(t, cfg, img)
+	_, fdev, rec, fs, tr, err := instance(t, cfg, img)
 	if err != nil {
 		return Scenario{}, err
 	}
+	tr.Mark(fmt.Sprintf("scenario fs=%s workload=%s block=%s fault=%s sticky=%t",
+		t.Name, w.Label, bt, fc, !cfg.Transient))
 	if w.Mounted {
 		if err := fs.Mount(); err != nil {
 			return Scenario{}, fmt.Errorf("scenario mount: %w", err)
@@ -284,6 +302,9 @@ func runScenario(t Target, cfg Config, w Workload, img []byte, bt iron.BlockType
 	}
 	if t.Health != nil {
 		s.Health = t.Health(fs)
+	}
+	if tr.Enabled() {
+		s.Trace = tr.Events()
 	}
 	return s, nil
 }

@@ -8,6 +8,7 @@ import (
 	"ironfs/internal/disk"
 	"ironfs/internal/faultinject"
 	"ironfs/internal/iron"
+	"ironfs/internal/trace"
 	"ironfs/internal/vfs"
 )
 
@@ -19,6 +20,28 @@ import (
 
 func crashTestOpts() Options {
 	return Options{BlocksPerGroup: 512, JournalBlocks: 64, ITableBlocks: 2}
+}
+
+// cacheBarriersBetween counts observed cache-layer barrier events issued
+// between the a-th and b-th cache-layer writes (exclusive). Cache write
+// events are emitted 1:1 and in order with the CacheDevice write log, so
+// log indices address trace events directly.
+func cacheBarriersBetween(events []trace.Event, a, b int) int {
+	writes, barriers := 0, 0
+	for _, e := range events {
+		if e.Layer != trace.LayerCache {
+			continue
+		}
+		switch e.Kind {
+		case trace.KindWrite:
+			writes++
+		case trace.KindBarrier:
+			if writes > a && writes <= b {
+				barriers++
+			}
+		}
+	}
+	return barriers
 }
 
 // buildCommitCrash runs create+write+sync on a cached device and returns
@@ -34,6 +57,8 @@ func buildCommitCrash(t *testing.T, opts Options) []byte {
 		t.Fatal(err)
 	}
 	baseImg := d.Snapshot()
+	tr := trace.New(nil)
+	d.SetTracer(tr)
 	cache := faultinject.NewCacheDevice(d)
 	fs := New(cache, opts, iron.NewRecorder())
 	if err := fs.Mount(); err != nil {
@@ -67,6 +92,12 @@ func buildCommitCrash(t *testing.T, opts Options) []byte {
 	if log[descIdx].Epoch != log[commitIdx].Epoch {
 		t.Fatalf("payload and commit are in different epochs (%d vs %d): the cache cannot reorder across a barrier, so this crash state is inexpressible",
 			log[descIdx].Epoch, log[commitIdx].Epoch)
+	}
+	// The epoch claim, re-checked against the observed event stream: no
+	// barrier event may separate the descriptor write from the commit
+	// write, or the crash state below would be inexpressible.
+	if n := cacheBarriersBetween(tr.Events(), descIdx, commitIdx); n != 0 {
+		t.Fatalf("observed %d cache barrier events between descriptor and commit; expected none", n)
 	}
 
 	// Pending window for a crash right after the commit write, mirroring
@@ -174,6 +205,8 @@ func TestBarrierMakesReorderInexpressible(t *testing.T) {
 	if err := Mkfs(d, opts); err != nil {
 		t.Fatal(err)
 	}
+	tr := trace.New(nil)
+	d.SetTracer(tr)
 	cache := faultinject.NewCacheDevice(d)
 	fs := New(cache, opts, iron.NewRecorder())
 	if err := fs.Mount(); err != nil {
@@ -205,5 +238,11 @@ func TestBarrierMakesReorderInexpressible(t *testing.T) {
 	}
 	if log[descIdx].Epoch == log[commitIdx].Epoch {
 		t.Fatal("payload and commit share an epoch despite the barrier; the reorder defense is gone")
+	}
+	// The same claim from the observed event stream, not the log's epoch
+	// bookkeeping: a barrier event must separate the descriptor write from
+	// the commit write, because the barrier IS the reorder defense.
+	if n := cacheBarriersBetween(tr.Events(), descIdx, commitIdx); n == 0 {
+		t.Fatal("no cache barrier event observed between descriptor and commit; the ordering point was never issued")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"ironfs/internal/bcache"
 	"ironfs/internal/disk"
 	"ironfs/internal/iron"
+	"ironfs/internal/trace"
 	"ironfs/internal/vfs"
 )
 
@@ -17,6 +18,7 @@ type FS struct {
 	dev  disk.Device
 	opts Options
 	rec  *iron.Recorder
+	tr   *trace.Tracer
 
 	mu          sync.Mutex
 	health      vfs.Health
@@ -44,12 +46,15 @@ var _ vfs.FileSystem = (*FS)(nil)
 // New binds a file system instance to a formatted device. The recorder may
 // be nil (events discarded). Call Mount before use.
 func New(dev disk.Device, opts Options, rec *iron.Recorder) *FS {
-	return &FS{
+	fs := &FS{
 		dev:   dev,
 		opts:  opts,
 		rec:   rec,
+		tr:    trace.Of(dev),
 		cache: bcache.New(2048),
 	}
+	fs.cache.SetTracer(fs.tr)
+	return fs
 }
 
 // Options returns the options the instance was created with.
@@ -238,6 +243,7 @@ func (fs *FS) Mount() error {
 	if fs.mounted {
 		return nil
 	}
+	fs.tr.Phase("mount", fs.variantName())
 	fs.health.Reset()
 	fs.cache.Reset()
 

@@ -2,6 +2,7 @@ package ext3
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"ironfs/internal/disk"
 	"ironfs/internal/iron"
@@ -212,6 +213,7 @@ func (fs *FS) commitLocked() error {
 	if err := fs.health.CheckWrite(); err != nil {
 		return err
 	}
+	fs.tr.Phase("commit", fmt.Sprintf("seq=%d meta=%d data=%d", fs.seq+1, len(t.metaOrder), len(t.dataOrder)))
 
 	// Fold checksum-table updates into the transaction so the entries
 	// commit atomically with the blocks they cover. New checksum blocks
@@ -430,6 +432,7 @@ func (fs *FS) ensureJournalSpace(txnLen int64) error {
 // its final location, then advances the journal tail, logically emptying
 // the journal.
 func (fs *FS) checkpointLocked() error {
+	fs.tr.Phase("checkpoint", fmt.Sprintf("pending=%d", len(fs.pending.entries)))
 	if len(fs.pending.entries) > 0 {
 		reqs := make([]disk.Request, 0, len(fs.pending.entries)*2)
 		types := make([]iron.BlockType, 0, cap(reqs))
@@ -478,6 +481,7 @@ func (fs *FS) checkpointLocked() error {
 // journaled *payload*, so a corrupt journal data block is replayed verbatim
 // and can corrupt the file system.
 func (fs *FS) replayJournal() error {
+	fs.tr.Phase("replay", fs.variantName())
 	base := int64(fs.lay.sb.JournalStart)
 	buf := make([]byte, BlockSize)
 	if err := fs.dev.ReadBlock(base, buf); err != nil {

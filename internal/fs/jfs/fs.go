@@ -6,6 +6,7 @@ import (
 	"ironfs/internal/bcache"
 	"ironfs/internal/disk"
 	"ironfs/internal/iron"
+	"ironfs/internal/trace"
 	"ironfs/internal/vfs"
 )
 
@@ -13,6 +14,7 @@ import (
 type FS struct {
 	dev disk.Device
 	rec *iron.Recorder
+	tr  *trace.Tracer
 
 	mu      sync.Mutex
 	health  vfs.Health
@@ -32,7 +34,9 @@ var _ vfs.FileSystem = (*FS)(nil)
 
 // New binds a JFS instance to a formatted device. Mount before use.
 func New(dev disk.Device, rec *iron.Recorder) *FS {
-	return &FS{dev: dev, rec: rec, cache: bcache.New(2048)}
+	fs := &FS{dev: dev, rec: rec, tr: trace.Of(dev), cache: bcache.New(2048)}
+	fs.cache.SetTracer(fs.tr)
+	return fs
 }
 
 // Health returns the current RStop state.
@@ -151,6 +155,7 @@ func (fs *FS) Mount() error {
 	if fs.mounted {
 		return nil
 	}
+	fs.tr.Phase("mount", "jfs")
 	fs.health.Reset()
 	fs.cache.Reset()
 

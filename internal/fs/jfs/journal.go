@@ -2,6 +2,7 @@ package jfs
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"ironfs/internal/disk"
 	"ironfs/internal/iron"
@@ -131,6 +132,7 @@ func (fs *FS) commitLocked() error {
 	if err := fs.health.CheckWrite(); err != nil {
 		return err
 	}
+	fs.tr.Phase("commit", fmt.Sprintf("seq=%d records=%d data=%d", fs.seq+1, len(t.records), len(t.dataOrder)))
 	seq := fs.seq + 1
 	base := int64(fs.sb.LogStart)
 
@@ -259,6 +261,7 @@ func (fs *FS) loadLogSuper() error {
 // sanity-check failure during replay aborts the replay (§5.3: "during
 // journal replay, a sanity-check failure causes the replay to abort").
 func (fs *FS) replayLog() error {
+	fs.tr.Phase("replay", "jfs")
 	if err := fs.loadLogSuper(); err != nil {
 		return err
 	}

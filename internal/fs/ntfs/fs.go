@@ -2,11 +2,13 @@ package ntfs
 
 import (
 	"encoding/binary"
+	"fmt"
 	"sync"
 
 	"ironfs/internal/bcache"
 	"ironfs/internal/disk"
 	"ironfs/internal/iron"
+	"ironfs/internal/trace"
 	"ironfs/internal/vfs"
 )
 
@@ -14,6 +16,7 @@ import (
 type FS struct {
 	dev disk.Device
 	rec *iron.Recorder
+	tr  *trace.Tracer
 
 	mu      sync.Mutex
 	health  vfs.Health
@@ -30,7 +33,9 @@ var _ vfs.FileSystem = (*FS)(nil)
 
 // New binds an NTFS instance to a formatted device. Mount before use.
 func New(dev disk.Device, rec *iron.Recorder) *FS {
-	return &FS{dev: dev, rec: rec, cache: bcache.New(2048)}
+	fs := &FS{dev: dev, rec: rec, tr: trace.Of(dev), cache: bcache.New(2048)}
+	fs.cache.SetTracer(fs.tr)
+	return fs
 }
 
 // Health returns the current RStop state.
@@ -179,6 +184,7 @@ func (fs *FS) commitLocked() error {
 	if err := fs.health.CheckWrite(); err != nil {
 		return err
 	}
+	fs.tr.Phase("commit", fmt.Sprintf("seq=%d meta=%d data=%d", fs.seq+1, len(t.metaOrder), len(t.dataOrder)))
 	seq := fs.seq + 1
 	base := int64(fs.boot.LogStart)
 	le := binary.LittleEndian
@@ -299,6 +305,7 @@ func (fs *FS) loadRestart() (startRel int64, nextSeq uint64, err error) {
 
 // replayLog applies committed logfile transactions after a crash.
 func (fs *FS) replayLog() error {
+	fs.tr.Phase("replay", "ntfs")
 	startRel, nextSeq, err := fs.loadRestart()
 	if err != nil {
 		return err
@@ -378,6 +385,7 @@ func (fs *FS) Mount() error {
 	if fs.mounted {
 		return nil
 	}
+	fs.tr.Phase("mount", "ntfs")
 	fs.health.Reset()
 	fs.cache.Reset()
 

@@ -2,6 +2,7 @@ package reiser
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"ironfs/internal/disk"
 	"ironfs/internal/iron"
@@ -139,6 +140,7 @@ func (fs *FS) commitLocked() error {
 	if err := fs.health.CheckWrite(); err != nil {
 		return err
 	}
+	fs.tr.Phase("commit", fmt.Sprintf("seq=%d meta=%d", fs.seq+1, len(t.metaOrder)))
 	seq := fs.seq + 1
 	base := int64(fs.sb.JournalStart)
 	need := int64(len(t.metaOrder) + 2)
@@ -274,6 +276,7 @@ func (fs *FS) loadJournalHeader() error {
 // replayJournal applies any committed-but-uncheckpointed transaction. The
 // payload is replayed with no integrity check — the reproduced §5.2 flaw.
 func (fs *FS) replayJournal() error {
+	fs.tr.Phase("replay", "reiser")
 	base := int64(fs.sb.JournalStart)
 	if err := fs.loadJournalHeader(); err != nil {
 		return err

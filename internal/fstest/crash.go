@@ -73,7 +73,7 @@ func SweepCrashes(
 		return 0, err
 	}
 	img := base.Snapshot()
-	before := base.Stats().Writes
+	before := base.Stats()
 	fs := newFS(base)
 	if err := fs.Mount(); err != nil {
 		return 0, err
@@ -82,7 +82,7 @@ func SweepCrashes(
 	if err := CrashWorkload(fs, &all); err != nil {
 		return 0, err
 	}
-	total := base.Stats().Writes - before
+	total := base.Stats().Sub(before).Writes
 
 	points := 0
 	for limit := int64(1); limit < total; limit += cfg.Stride {

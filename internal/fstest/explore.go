@@ -9,6 +9,7 @@ import (
 	"ironfs/internal/disk"
 	"ironfs/internal/faultinject"
 	"ironfs/internal/iron"
+	"ironfs/internal/trace"
 	"ironfs/internal/vfs"
 )
 
@@ -92,6 +93,11 @@ type ExploreConfig struct {
 	Policy faultinject.EnumPolicy
 	// Workers sets the worker-goroutine count (default GOMAXPROCS, max 8).
 	Workers int
+	// Trace attaches an evidence trace to every graded crash state (the
+	// recovery mount and oracle scan, with detections bridged in) and the
+	// full workload trace to the result. Off by default: per-state traces
+	// are memory-heavy at full exploration scale.
+	Trace bool
 }
 
 func (c ExploreConfig) withDefaults() ExploreConfig {
@@ -128,12 +134,42 @@ type ExploreResult struct {
 	// FirstSilent describes the first silently corrupt state (state
 	// order, so deterministic), empty if none.
 	FirstSilent string
+	// Barriers counts the ordering points the workload actually issued,
+	// taken from observed cache-layer barrier events in the workload
+	// trace — the evidence behind "this variant cannot express ordering"
+	// claims (ext3-nobarrier must show 0 here, stock ext3 several).
+	Barriers int
+	// Epochs is the number of sealed write-cache epochs (== Barriers; kept
+	// separately because it comes from the cache's own counter, so a
+	// mismatch means the trace itself is wrong).
+	Epochs int
+	// WorkloadTrace is the workload phase's evidence trace (nil unless
+	// ExploreConfig.Trace).
+	WorkloadTrace []trace.Event
+	// States' per-state evidence (nil unless ExploreConfig.Trace), in
+	// deterministic state order.
+	StateResults []StateResult
+}
+
+// StateResult is the per-crash-state evidence attached when tracing.
+type StateResult struct {
+	// State renders the crash state ("p42 m=1011 torn").
+	State string
+	// Epoch is the open (unsealed) epoch the crash struck in.
+	Epoch int
+	// Outcome is the verdict: consistent, detected, refused,
+	// inconsistent, or silent.
+	Outcome string
+	// Detail carries the oracle's error or refusal reason, if any.
+	Detail string
+	// Trace is the recovery mount + oracle scan evidence trace.
+	Trace []trace.Event
 }
 
 // String renders one matrix row.
 func (r *ExploreResult) String() string {
-	return fmt.Sprintf("%-14s %-8s writes=%-4d points=%-4d states=%-5d ok=%-5d detected=%-4d refused=%-4d inconsistent=%-4d silent=%d",
-		r.Target, r.Workload, r.Writes, r.Points, r.States,
+	return fmt.Sprintf("%-14s %-8s writes=%-4d barriers=%-3d points=%-4d states=%-5d ok=%-5d detected=%-4d refused=%-4d inconsistent=%-4d silent=%d",
+		r.Target, r.Workload, r.Writes, r.Barriers, r.Points, r.States,
 		r.Consistent, r.Detected, r.Refused, r.Inconsistent, r.Silent)
 }
 
@@ -158,9 +194,16 @@ func Explore(t ExploreTarget, w ExploreWorkload, cfg ExploreConfig) (*ExploreRes
 		return nil, fmt.Errorf("%s mkfs: %w", t.Name, err)
 	}
 	baseImg := base.Snapshot()
+	// The workload phase is always traced: the cache-layer barrier events
+	// are the observed evidence for epoch/ordering claims, and the phase
+	// is single-run (cheap) unlike the per-state grading below.
+	wtr := trace.New(func() int64 { return int64(base.Clock().Now()) })
+	base.SetTracer(wtr)
 	cache := faultinject.NewCacheDevice(base)
 	rec := iron.NewRecorder()
+	wtr.BridgeRecorder(rec)
 	fs := t.New(cache, rec)
+	wtr.Mark(fmt.Sprintf("explore fs=%s workload=%s", t.Name, w.Name))
 	if err := fs.Mount(); err != nil {
 		return nil, fmt.Errorf("%s mount: %w", t.Name, err)
 	}
@@ -170,6 +213,13 @@ func Explore(t ExploreTarget, w ExploreWorkload, cfg ExploreConfig) (*ExploreRes
 	log := cache.Log()
 	if len(log) == 0 {
 		return nil, fmt.Errorf("%s workload %s: no writes logged", t.Name, w.Name)
+	}
+	workloadEvents := wtr.Events()
+	barriers := 0
+	for _, e := range workloadEvents {
+		if e.Layer == trace.LayerCache && e.Kind == trace.KindBarrier {
+			barriers++
+		}
 	}
 
 	// Pick crash points: every Stride-th write, evenly thinned to
@@ -195,6 +245,7 @@ func Explore(t ExploreTarget, w ExploreWorkload, cfg ExploreConfig) (*ExploreRes
 	type verdict struct {
 		outcome int // 0 consistent, 1 detected, 2 refused, 3 inconsistent-detected, 4 silent
 		detail  string
+		events  []trace.Event // evidence, only under cfg.Trace
 	}
 	const (
 		vConsistent = iota
@@ -203,6 +254,7 @@ func Explore(t ExploreTarget, w ExploreWorkload, cfg ExploreConfig) (*ExploreRes
 		vInconsistent
 		vSilent
 	)
+	outcomeNames := [...]string{"consistent", "detected", "refused", "inconsistent", "silent"}
 	verdicts := make([]verdict, len(states))
 
 	grade := func(img []byte, st faultinject.CrashState) (verdict, error) {
@@ -216,6 +268,14 @@ func Explore(t ExploreTarget, w ExploreWorkload, cfg ExploreConfig) (*ExploreRes
 		// Recovery mount with a fresh recorder: any Detect event here or
 		// during the oracle scan means the file system saw the damage.
 		mrec := iron.NewRecorder()
+		var str *trace.Tracer
+		if cfg.Trace {
+			str = trace.New(func() int64 { return int64(d.Clock().Now()) })
+			d.SetTracer(str)
+			str.BridgeRecorder(mrec)
+			str.Mark(fmt.Sprintf("crash-state fs=%s workload=%s state=%s epoch=%d",
+				t.Name, w.Name, st, log[st.Point].Epoch))
+		}
 		mfs := t.New(d, mrec)
 		detected := func() bool {
 			for _, e := range mrec.Events() {
@@ -225,24 +285,30 @@ func Explore(t ExploreTarget, w ExploreWorkload, cfg ExploreConfig) (*ExploreRes
 			}
 			return false
 		}
+		done := func(v verdict) verdict {
+			if str.Enabled() {
+				v.events = str.Events()
+			}
+			return v
+		}
 		if err := mfs.Mount(); err != nil {
-			return verdict{vRefused, err.Error()}, nil
+			return done(verdict{outcome: vRefused, detail: err.Error()}), nil
 		}
 		err = t.Check(d)
 		switch {
 		case err == nil:
 			if detected() {
-				return verdict{vDetected, ""}, nil
+				return done(verdict{outcome: vDetected}), nil
 			}
-			return verdict{vConsistent, ""}, nil
+			return done(verdict{outcome: vConsistent}), nil
 		case errors.Is(err, vfs.ErrInconsistent):
 			if detected() {
-				return verdict{vInconsistent, err.Error()}, nil
+				return done(verdict{outcome: vInconsistent, detail: err.Error()}), nil
 			}
-			return verdict{vSilent, fmt.Sprintf("%s: %v", st, err)}, nil
+			return done(verdict{outcome: vSilent, detail: fmt.Sprintf("%s: %v", st, err)}), nil
 		default:
 			// The oracle's own mount/scan hit a detected failure.
-			return verdict{vRefused, err.Error()}, nil
+			return done(verdict{outcome: vRefused, detail: err.Error()}), nil
 		}
 	}
 
@@ -275,6 +341,20 @@ func Explore(t ExploreTarget, w ExploreWorkload, cfg ExploreConfig) (*ExploreRes
 	res := &ExploreResult{
 		Target: t.Name, Workload: w.Name,
 		Writes: len(log), Points: len(points), States: len(states),
+		Barriers: barriers, Epochs: cache.Epochs(),
+	}
+	if cfg.Trace {
+		res.WorkloadTrace = workloadEvents
+		res.StateResults = make([]StateResult, len(states))
+		for i, v := range verdicts {
+			res.StateResults[i] = StateResult{
+				State:   states[i].String(),
+				Epoch:   log[states[i].Point].Epoch,
+				Outcome: outcomeNames[v.outcome],
+				Detail:  v.detail,
+				Trace:   v.events,
+			}
+		}
 	}
 	for _, v := range verdicts {
 		switch v.outcome {

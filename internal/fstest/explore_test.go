@@ -81,7 +81,9 @@ func TestExploreDeterministic(t *testing.T) {
 	if churn.Run == nil {
 		t.Fatal("churn workload missing")
 	}
-	cfg := fstest.ExploreConfig{Workers: 4}
+	// Trace on: per-state evidence traces must be as deterministic as the
+	// verdicts they justify (DeepEqual below covers every event).
+	cfg := fstest.ExploreConfig{Workers: 4, Trace: true}
 	cfg.Policy.Torn = true
 	a, err := fstest.Explore(tgt, churn, cfg)
 	if err != nil {
@@ -131,6 +133,61 @@ func TestHeadlinePair(t *testing.T) {
 		}
 		if res.Detected == 0 {
 			t.Errorf("ixt3/%s: expected some detected-and-contained states, found none (%s)", w.Name, res)
+		}
+	}
+}
+
+// TestExploreBarrierEvidence: the "barrier inexpressible" claims must rest
+// on observed cache-layer barrier events, not inference. Stock ext3's
+// commit path issues an ordering barrier between journal payload and
+// commit block; the NoBarrier variant omits exactly that one, so for the
+// same workload it must seal strictly fewer epochs — and the trace-derived
+// count must agree with the cache's own epoch counter in both.
+func TestExploreBarrierEvidence(t *testing.T) {
+	var mkfiles fstest.ExploreWorkload
+	for _, w := range fstest.Workloads() {
+		if w.Name == "mkfiles" {
+			mkfiles = w
+		}
+	}
+	if mkfiles.Run == nil {
+		t.Fatal("mkfiles workload missing")
+	}
+	cfg := fstest.ExploreConfig{MaxPoints: 2, Trace: true}
+
+	run := func(name string) *fstest.ExploreResult {
+		tgt, err := fingerprint.CrashTargetByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fstest.Explore(tgt, mkfiles, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Barriers != res.Epochs {
+			t.Fatalf("%s: trace counted %d barriers but the cache sealed %d epochs; the trace is lying",
+				name, res.Barriers, res.Epochs)
+		}
+		return res
+	}
+
+	stock := run("ext3")
+	nobar := run("ext3-nobarrier")
+	if stock.Barriers <= nobar.Barriers {
+		t.Fatalf("observed barriers: ext3=%d ext3-nobarrier=%d; stock must issue strictly more ordering points",
+			stock.Barriers, nobar.Barriers)
+	}
+
+	// Per-state evidence must be present and labeled.
+	if len(nobar.StateResults) != nobar.States {
+		t.Fatalf("StateResults has %d entries for %d states", len(nobar.StateResults), nobar.States)
+	}
+	for _, sr := range nobar.StateResults {
+		if sr.Outcome == "" || len(sr.Trace) == 0 {
+			t.Fatalf("state %s lacks evidence (outcome=%q, %d events)", sr.State, sr.Outcome, len(sr.Trace))
+		}
+		if sr.Epoch < 0 || sr.Epoch > nobar.Epochs {
+			t.Fatalf("state %s claims epoch %d of %d", sr.State, sr.Epoch, nobar.Epochs)
 		}
 	}
 }

@@ -30,10 +30,35 @@ type Event struct {
 type Recorder struct {
 	mu     sync.Mutex
 	events []Event
+	obs    func(Event)
 }
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
+
+// SetObserver installs a callback invoked (synchronously, outside the
+// recorder lock) for every event as it is recorded. The tracing subsystem
+// uses it to bridge detection and recovery actions into evidence traces;
+// a nil fn removes the observer.
+func (r *Recorder) SetObserver(fn func(Event)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.obs = fn
+	r.mu.Unlock()
+}
+
+// record appends e and notifies the observer.
+func (r *Recorder) record(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	obs := r.obs
+	r.mu.Unlock()
+	if obs != nil {
+		obs(e)
+	}
+}
 
 // Detect records that the file system detected a problem with a block of
 // the given type using the given technique.
@@ -41,9 +66,7 @@ func (r *Recorder) Detect(level DetectionLevel, block BlockType, detail string) 
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	r.events = append(r.events, Event{Block: block, Detection: level, Detail: detail})
-	r.mu.Unlock()
+	r.record(Event{Block: block, Detection: level, Detail: detail})
 }
 
 // Recover records that the file system applied the given recovery technique
@@ -52,9 +75,7 @@ func (r *Recorder) Recover(level RecoveryLevel, block BlockType, detail string) 
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	r.events = append(r.events, Event{Block: block, Recovery: level, Detail: detail})
-	r.mu.Unlock()
+	r.record(Event{Block: block, Recovery: level, Detail: detail})
 }
 
 // Events returns a copy of all recorded events in order.

@@ -1,0 +1,327 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Derived metrics: a Summary is a pure function of an event stream, so
+// tools and tests can aggregate a trace (or compare two) without having
+// observed the run live.
+
+// histBuckets is the bucket count of a service-time histogram: bucket i
+// holds operations with service time in [2^i, 2^(i+1)) microseconds,
+// bucket 0 additionally catching everything below 1us.
+const histBuckets = 16
+
+// Histogram is a power-of-two latency histogram over simulated service
+// time, in microseconds.
+type Histogram struct {
+	Buckets [histBuckets]int
+	Count   int
+	// TotalNs sums the service time, for mean latency.
+	TotalNs int64
+}
+
+// Add records one service time in nanoseconds.
+func (h *Histogram) Add(ns int64) {
+	us := ns / 1000
+	b := 0
+	for us >= 2 && b < histBuckets-1 {
+		us >>= 1
+		b++
+	}
+	h.Buckets[b]++
+	h.Count++
+	h.TotalNs += ns
+}
+
+// String renders the non-empty buckets compactly: "1us:3 4us:1 8ms:2".
+func (h *Histogram) String() string {
+	var parts []string
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		us := int64(1) << i
+		label := fmt.Sprintf("%dus", us)
+		if us >= 1000 {
+			label = fmt.Sprintf("%dms", us/1000)
+		}
+		parts = append(parts, fmt.Sprintf("%s:%d", label, n))
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, " ")
+}
+
+// TypeStat aggregates the fault-layer view of one block type.
+type TypeStat struct {
+	Reads, Writes, Faults int
+	Errs                  int
+	// Lat is the service-time distribution of the type's I/O.
+	Lat Histogram
+}
+
+// Summary is the aggregate view of a trace.
+type Summary struct {
+	Events int
+	// Layers and Kinds count events per layer and per (layer, kind).
+	Layers map[string]int
+	Kinds  map[string]int
+	// Types is the per-block-type breakdown from the fault layer.
+	Types map[string]*TypeStat
+	// Faults counts fault firings per fault class.
+	Faults map[string]int
+	// DiskReads/DiskWrites/DiskBarriers count mechanical disk events;
+	// BusyNs sums their service time.
+	DiskReads, DiskWrites, DiskBarriers int
+	BusyNs                              int64
+	// CacheWrites and CacheBarriers count volatile-write-cache events;
+	// Epochs is the highest sealed epoch count observed, MaxDepth the
+	// deepest open-epoch queue.
+	CacheWrites, CacheBarriers int
+	Epochs, MaxDepth           int
+	// BufHits/BufMisses/BufEvicts count buffer-cache events.
+	BufHits, BufMisses, BufEvicts int
+	// Detects/Recovers/Phases count file-system semantic events, Marks
+	// the harness segment boundaries.
+	Detects, Recovers, Phases, Marks int
+	// EndNs is the largest timestamp observed.
+	EndNs int64
+}
+
+// Summarize aggregates an event stream.
+func Summarize(events []Event) *Summary {
+	s := &Summary{
+		Layers: map[string]int{},
+		Kinds:  map[string]int{},
+		Types:  map[string]*TypeStat{},
+		Faults: map[string]int{},
+	}
+	for i := range events {
+		e := &events[i]
+		s.Events++
+		s.Layers[e.Layer]++
+		s.Kinds[e.Layer+"/"+e.Kind]++
+		if e.T > s.EndNs {
+			s.EndNs = e.T
+		}
+		switch e.Layer {
+		case LayerDisk:
+			s.BusyNs += e.Svc
+			switch e.Kind {
+			case KindRead:
+				s.DiskReads++
+			case KindWrite:
+				s.DiskWrites++
+			case KindBarrier:
+				s.DiskBarriers++
+			}
+		case LayerFault:
+			if e.Kind == KindFault {
+				s.Faults[e.Fault]++
+				if e.Type != "" {
+					s.typeStat(e.Type).Faults++
+				}
+				continue
+			}
+			if e.Type == "" {
+				continue
+			}
+			st := s.typeStat(e.Type)
+			switch e.Kind {
+			case KindRead:
+				st.Reads++
+			case KindWrite:
+				st.Writes++
+			}
+			if e.Err != "" {
+				st.Errs++
+			}
+			if e.Svc > 0 {
+				st.Lat.Add(e.Svc)
+			}
+		case LayerCache:
+			switch e.Kind {
+			case KindWrite:
+				s.CacheWrites++
+			case KindBarrier:
+				s.CacheBarriers++
+				if e.Epoch+1 > s.Epochs {
+					s.Epochs = e.Epoch + 1
+				}
+			}
+			if e.Depth > s.MaxDepth {
+				s.MaxDepth = e.Depth
+			}
+		case LayerBuf:
+			switch e.Kind {
+			case KindHit:
+				s.BufHits++
+			case KindMiss:
+				s.BufMisses++
+			case KindEvict:
+				s.BufEvicts++
+			}
+		case LayerFS:
+			switch e.Kind {
+			case KindDetect:
+				s.Detects++
+			case KindRecover:
+				s.Recovers++
+			case KindPhase:
+				s.Phases++
+			}
+		case LayerHarness:
+			if e.Kind == KindMark {
+				s.Marks++
+			}
+		}
+	}
+	return s
+}
+
+func (s *Summary) typeStat(typ string) *TypeStat {
+	st := s.Types[typ]
+	if st == nil {
+		st = &TypeStat{}
+		s.Types[typ] = st
+	}
+	return st
+}
+
+// Render draws the summary deterministically (sorted keys throughout).
+func (s *Summary) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events=%d simtime=%dns busy=%dns marks=%d\n", s.Events, s.EndNs, s.BusyNs, s.Marks)
+	fmt.Fprintf(&b, "disk: reads=%d writes=%d barriers=%d\n", s.DiskReads, s.DiskWrites, s.DiskBarriers)
+	fmt.Fprintf(&b, "cache: writes=%d barriers=%d epochs=%d maxdepth=%d\n",
+		s.CacheWrites, s.CacheBarriers, s.Epochs, s.MaxDepth)
+	fmt.Fprintf(&b, "bcache: hits=%d misses=%d evicts=%d\n", s.BufHits, s.BufMisses, s.BufEvicts)
+	fmt.Fprintf(&b, "fs: detects=%d recovers=%d phases=%d\n", s.Detects, s.Recovers, s.Phases)
+
+	if len(s.Faults) > 0 {
+		keys := sortedKeys(s.Faults)
+		b.WriteString("faults:")
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %q:%d", k, s.Faults[k])
+		}
+		b.WriteByte('\n')
+	}
+
+	if len(s.Layers) > 0 {
+		b.WriteString("layers:")
+		for _, k := range sortedKeys(s.Layers) {
+			fmt.Fprintf(&b, " %s:%d", k, s.Layers[k])
+		}
+		b.WriteByte('\n')
+	}
+
+	if len(s.Types) > 0 {
+		b.WriteString("per-type (fault layer):\n")
+		types := make([]string, 0, len(s.Types))
+		for k := range s.Types {
+			types = append(types, k)
+		}
+		sort.Strings(types)
+		for _, k := range types {
+			st := s.Types[k]
+			mean := int64(0)
+			if st.Lat.Count > 0 {
+				mean = st.Lat.TotalNs / int64(st.Lat.Count)
+			}
+			fmt.Fprintf(&b, "  %-14s reads=%-5d writes=%-5d faults=%-3d errs=%-3d mean=%dus lat[%s]\n",
+				k, st.Reads, st.Writes, st.Faults, st.Errs, mean/1000, st.Lat.String())
+		}
+	}
+	return b.String()
+}
+
+// Diff renders the counters on which a and b disagree, one per line, as
+// "name: a -> b". An empty result means the summaries agree.
+func Diff(a, b *Summary) string {
+	var lines []string
+	add := func(name string, av, bv int64) {
+		if av != bv {
+			lines = append(lines, fmt.Sprintf("%-28s %8d -> %-8d (%+d)", name, av, bv, bv-av))
+		}
+	}
+	add("events", int64(a.Events), int64(b.Events))
+	add("simtime-ns", a.EndNs, b.EndNs)
+	add("busy-ns", a.BusyNs, b.BusyNs)
+	add("disk-reads", int64(a.DiskReads), int64(b.DiskReads))
+	add("disk-writes", int64(a.DiskWrites), int64(b.DiskWrites))
+	add("disk-barriers", int64(a.DiskBarriers), int64(b.DiskBarriers))
+	add("cache-writes", int64(a.CacheWrites), int64(b.CacheWrites))
+	add("cache-barriers", int64(a.CacheBarriers), int64(b.CacheBarriers))
+	add("cache-epochs", int64(a.Epochs), int64(b.Epochs))
+	add("cache-maxdepth", int64(a.MaxDepth), int64(b.MaxDepth))
+	add("bcache-hits", int64(a.BufHits), int64(b.BufHits))
+	add("bcache-misses", int64(a.BufMisses), int64(b.BufMisses))
+	add("bcache-evicts", int64(a.BufEvicts), int64(b.BufEvicts))
+	add("fs-detects", int64(a.Detects), int64(b.Detects))
+	add("fs-recovers", int64(a.Recovers), int64(b.Recovers))
+	add("fs-phases", int64(a.Phases), int64(b.Phases))
+	add("marks", int64(a.Marks), int64(b.Marks))
+	for _, k := range unionKeys(a.Faults, b.Faults) {
+		add("fault["+k+"]", int64(a.Faults[k]), int64(b.Faults[k]))
+	}
+	for _, k := range unionTypeKeys(a.Types, b.Types) {
+		at, bt := a.Types[k], b.Types[k]
+		var ar, aw, af, br, bw, bf int
+		if at != nil {
+			ar, aw, af = at.Reads, at.Writes, at.Faults
+		}
+		if bt != nil {
+			br, bw, bf = bt.Reads, bt.Writes, bt.Faults
+		}
+		add("type["+k+"].reads", int64(ar), int64(br))
+		add("type["+k+"].writes", int64(aw), int64(bw))
+		add("type["+k+"].faults", int64(af), int64(bf))
+	}
+	return strings.Join(lines, "\n")
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func unionKeys(a, b map[string]int) []string {
+	set := map[string]bool{}
+	for k := range a {
+		set[k] = true
+	}
+	for k := range b {
+		set[k] = true
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func unionTypeKeys(a, b map[string]*TypeStat) []string {
+	set := map[string]bool{}
+	for k := range a {
+		set[k] = true
+	}
+	for k := range b {
+		set[k] = true
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// NDJSON serialization: one JSON object per line, struct field order, no
+// floats — so a fixed event stream always serializes to identical bytes.
+
+// WriteNDJSON writes events to w, one JSON object per line.
+func WriteNDJSON(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for i := range events {
+		line, err := json.Marshal(&events[i])
+		if err != nil {
+			return fmt.Errorf("trace: marshal event %d: %w", i, err)
+		}
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// EncodeNDJSON renders events as NDJSON bytes.
+func EncodeNDJSON(events []Event) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, events); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ReadNDJSON parses an NDJSON event stream. Blank lines are skipped, so
+// concatenated dumps (one per scenario) read back as one stream.
+func ReadNDJSON(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"ironfs/internal/iron"
+)
+
+// TestNilTracer: every method on a nil *Tracer must be a safe no-op — the
+// disabled state the whole stack relies on (production mounts and the
+// Table 6 path never allocate a tracer).
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports Enabled")
+	}
+	if tr.Now() != 0 {
+		t.Fatal("nil tracer Now != 0")
+	}
+	tr.IO(LayerDisk, KindRead, 1, "inode", 0, 10, nil)
+	tr.Batch(0, 3)
+	tr.Barrier(LayerCache, -1, 0, 2)
+	tr.FaultFired(iron.ReadFailure, 5, "data", true)
+	tr.CacheWrite(7, 1, 2)
+	tr.Buffer(KindHit, 9)
+	tr.Phase("commit", "")
+	tr.Mark("m")
+	tr.BridgeRecorder(iron.NewRecorder())
+	tr.Reset()
+	if tr.Events() != nil || tr.Len() != 0 {
+		t.Fatal("nil tracer holds events")
+	}
+}
+
+func TestEmitAndRoundtrip(t *testing.T) {
+	now := int64(0)
+	tr := New(func() int64 { now += 100; return now })
+	tr.Mark("start")
+	tr.IO(LayerDisk, KindWrite, 0, "", 42, 58, nil)
+	tr.IO(LayerFault, KindRead, 3, "inode", 42, 58, errors.New("injected"))
+	tr.FaultFired(iron.Corruption, 3, "inode", false)
+	tr.Barrier(LayerCache, -1, 2, 5)
+	tr.Phase("commit", "seq=1")
+
+	evs := tr.Events()
+	if len(evs) != 6 {
+		t.Fatalf("got %d events, want 6", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != i {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+	if evs[1].T != 42 || evs[1].Svc != 58 {
+		t.Fatalf("explicit timestamp not honored: %+v", evs[1])
+	}
+	if evs[2].Err != "injected" {
+		t.Fatalf("error not recorded: %+v", evs[2])
+	}
+	if evs[4].Epoch != 2 || evs[4].Depth != 5 || evs[4].T == 0 {
+		t.Fatalf("barrier fields wrong: %+v", evs[4])
+	}
+
+	enc, err := EncodeNDJSON(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ReadNDJSON(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(evs, dec) {
+		t.Fatalf("NDJSON roundtrip drifted:\n%v\n%v", evs, dec)
+	}
+	// Byte determinism: re-encoding the decoded stream is identical.
+	enc2, err := EncodeNDJSON(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatal("re-encoded NDJSON differs byte-wise")
+	}
+}
+
+// TestConcurrentEmit is the -race workout: many goroutines emitting into
+// one tracer must neither race nor lose or duplicate sequence numbers.
+func TestConcurrentEmit(t *testing.T) {
+	tr := New(nil)
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				switch i % 3 {
+				case 0:
+					tr.IO(LayerDisk, KindRead, int64(i), "", int64(i), 1, nil)
+				case 1:
+					tr.Buffer(KindMiss, int64(i))
+				default:
+					tr.CacheWrite(int64(i), w, i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	evs := tr.Events()
+	if len(evs) != workers*per {
+		t.Fatalf("got %d events, want %d", len(evs), workers*per)
+	}
+	for i, e := range evs {
+		if e.Seq != i {
+			t.Fatalf("event %d carries seq %d: sequence numbers must be dense and ordered", i, e.Seq)
+		}
+	}
+}
+
+func TestBridgeRecorder(t *testing.T) {
+	tr := New(nil)
+	rec := iron.NewRecorder()
+	tr.BridgeRecorder(rec)
+	rec.Detect(iron.DSanity, "super", "bad magic")
+	rec.Recover(iron.RStop, "super", "mount aborted")
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d bridged events, want 2", len(evs))
+	}
+	if evs[0].Kind != KindDetect || evs[0].Level != iron.DSanity.String() || evs[0].Type != "super" {
+		t.Fatalf("detect event wrong: %+v", evs[0])
+	}
+	if evs[1].Kind != KindRecover || evs[1].Level != iron.RStop.String() {
+		t.Fatalf("recover event wrong: %+v", evs[1])
+	}
+}
+
+func TestSummarizeAndDiff(t *testing.T) {
+	tr := New(nil)
+	tr.IO(LayerDisk, KindRead, 1, "", 0, 1000, nil)
+	tr.IO(LayerFault, KindRead, 1, "inode", 0, 1000, nil)
+	tr.IO(LayerFault, KindWrite, 2, "data", 1000, 2000, errors.New("boom"))
+	tr.Buffer(KindHit, 1)
+	tr.Buffer(KindMiss, 2)
+	tr.Barrier(LayerCache, 0, 0, 3)
+	tr.CacheWrite(2, 1, 1)
+	s := Summarize(tr.Events())
+	if s.DiskReads != 1 || s.BufHits != 1 || s.BufMisses != 1 || s.CacheBarriers != 1 || s.CacheWrites != 1 {
+		t.Fatalf("summary counters wrong: %+v", s)
+	}
+	ts := s.Types["data"]
+	if ts == nil || ts.Writes != 1 || ts.Errs != 1 {
+		t.Fatalf("per-type stat wrong: %+v", ts)
+	}
+	if d := Diff(s, s); d != "" {
+		t.Fatalf("self-diff not empty:\n%s", d)
+	}
+	tr.IO(LayerDisk, KindRead, 9, "", 0, 500, nil)
+	if d := Diff(s, Summarize(tr.Events())); d == "" {
+		t.Fatal("diff of differing traces is empty")
+	}
+}

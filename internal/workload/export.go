@@ -1,0 +1,78 @@
+package workload
+
+// Machine-readable exports of the Table 6 sweep and the space study, for
+// ironbench -json. Committed snapshots (BENCH_N.json at the repo root) pin
+// the simulated-performance profile the same way the crash-count golden
+// pins exploration coverage: the simulator is deterministic, so any drift
+// in these numbers is a real behavioral change, not noise.
+
+// CellJSON is one (variant, benchmark) measurement.
+type CellJSON struct {
+	// SimTimeNs is the workload's simulated run time in nanoseconds.
+	SimTimeNs int64 `json:"sim_time_ns"`
+	// Relative is SimTimeNs normalized to the baseline ext3 row
+	// (1.0 = parity, >1 slowdown, <1 speedup).
+	Relative float64 `json:"relative"`
+}
+
+// Table6RowJSON is one variant row.
+type Table6RowJSON struct {
+	// Variant is the row label in the paper's notation
+	// ("(Baseline: ext3)", "Mc", "McMrDcDpTc", ...).
+	Variant string `json:"variant"`
+	// Cells maps benchmark name to its measurement.
+	Cells map[string]CellJSON `json:"cells"`
+}
+
+// Table6JSON is the full sweep.
+type Table6JSON struct {
+	Benchmarks []string        `json:"benchmarks"`
+	Rows       []Table6RowJSON `json:"rows"`
+}
+
+// JSON converts the sweep for serialization.
+func (t *Table6) JSON() *Table6JSON {
+	out := &Table6JSON{Benchmarks: append([]string(nil), t.Benchmarks...)}
+	for _, row := range t.Rows {
+		r := Table6RowJSON{Variant: row.Variant.Label(), Cells: map[string]CellJSON{}}
+		for name, c := range row.Cells {
+			r.Cells[name] = CellJSON{SimTimeNs: int64(c.SimTime), Relative: c.Relative}
+		}
+		out.Rows = append(out.Rows, r)
+	}
+	return out
+}
+
+// SpaceJSON is one profile's space-overhead measurement.
+type SpaceJSON struct {
+	Profile       string  `json:"profile"`
+	Files         int     `json:"files"`
+	UsedBlocks    int64   `json:"used_blocks"`
+	CksumBlocks   int64   `json:"cksum_blocks"`
+	ReplicaBlocks int64   `json:"replica_blocks"`
+	ParityBlocks  int64   `json:"parity_blocks"`
+	CksumPct      float64 `json:"cksum_pct"`
+	ReplicaPct    float64 `json:"replica_pct"`
+	ParityPct     float64 `json:"parity_pct"`
+}
+
+// JSON converts one space report for serialization.
+func (r SpaceReport) JSON() SpaceJSON {
+	return SpaceJSON{
+		Profile:       r.Profile.Name,
+		Files:         r.Profile.Files,
+		UsedBlocks:    r.UsedBlocks,
+		CksumBlocks:   r.CksumBlocks,
+		ReplicaBlocks: r.ReplicaBlocks,
+		ParityBlocks:  r.ParityBlocks,
+		CksumPct:      r.CksumPct(),
+		ReplicaPct:    r.ReplicaPct(),
+		ParityPct:     r.ParityPct(),
+	}
+}
+
+// BenchJSON is ironbench -json's top-level document.
+type BenchJSON struct {
+	Table6 *Table6JSON `json:"table6,omitempty"`
+	Space  []SpaceJSON `json:"space,omitempty"`
+}
