@@ -6,12 +6,20 @@
 // Usage:
 //
 //	ironbench [-table6] [-space] [-single] [-bench SSH|Web|Post|TPCB] [-json]
+//	ironbench -multiclient [-clients N] [-depth D] [-fs name] [-json]
 //
 // With -json the selected studies are emitted as one machine-readable JSON
 // document on stdout (per-variant simulated times and normalized ratios,
 // plus per-profile space overheads) instead of the rendered tables. The
 // simulator is deterministic, so committed snapshots (BENCH_N.json) pin
 // the performance profile across PRs.
+//
+// -multiclient runs N concurrent client goroutines against every
+// registered file system over the queued I/O scheduler, on a sequential
+// read workload and a create-heavy churn workload, and compares each
+// against the serial baseline (one client, queue depth 1). Goroutine
+// interleaving makes these numbers wobble slightly run to run, so the
+// committed snapshot records wide-margin speedups, not exact times.
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"fmt"
 	"os"
 
+	"ironfs/internal/fs"
 	"ironfs/internal/workload"
 )
 
@@ -29,7 +38,22 @@ func main() {
 	space := flag.Bool("space", false, "run the space-overhead study")
 	benchName := flag.String("bench", "", "restrict to one workload (SSH, Web, Post, TPCB)")
 	asJSON := flag.Bool("json", false, "emit results as a JSON document instead of rendered tables")
+	multi := flag.Bool("multiclient", false, "run the multi-client scheduler study instead of Table 6")
+	clients := flag.Int("clients", 4, "multiclient: concurrent client goroutines")
+	depth := flag.Int("depth", 32, "multiclient: scheduler queue depth")
+	fsName := flag.String("fs", "", "multiclient: restrict to one file system (default: all)")
 	flag.Parse()
+	if *multi {
+		table6Set := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "table6" {
+				table6Set = true
+			}
+		})
+		if !table6Set {
+			*table6 = false
+		}
+	}
 
 	var benches []workload.Benchmark
 	if *benchName != "" {
@@ -79,6 +103,38 @@ func main() {
 		} else {
 			fmt.Println("Space overheads (§6.2): per-mechanism cost as % of used volume")
 			fmt.Println(workload.RenderSpace(reports))
+		}
+	}
+
+	if *multi {
+		var rows []workload.MultiClientRow
+		names := fs.Names()
+		if *fsName != "" {
+			names = []string{*fsName}
+		}
+		for _, name := range names {
+			for _, wl := range workload.MultiClientWorkloads() {
+				row, err := workload.RunMultiClientComparison(name, wl, *clients, *depth)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ironbench: multiclient: %v\n", err)
+					os.Exit(1)
+				}
+				rows = append(rows, row)
+			}
+		}
+		if *asJSON {
+			for _, row := range rows {
+				doc.MultiClient = append(doc.MultiClient, row.JSON())
+			}
+		} else {
+			fmt.Printf("Multi-client: %d clients over the queued scheduler (depth %d)\n", *clients, *depth)
+			fmt.Printf("vs the serial baseline (1 client, depth 1); ops/simulated second\n\n")
+			fmt.Printf("%-9s %-12s %10s %10s %8s\n", "fs", "workload", "base", "conc", "speedup")
+			for _, row := range rows {
+				fmt.Printf("%-9s %-12s %10.0f %10.0f %7.2fx\n",
+					row.Concurrent.FS, row.Concurrent.Workload,
+					row.Baseline.OpsPerSec, row.Concurrent.OpsPerSec, row.Speedup())
+			}
 		}
 	}
 

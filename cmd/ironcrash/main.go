@@ -13,7 +13,12 @@
 //
 //	ironcrash [-fs ext3|ext3-nobarrier|ixt3|reiserfs|jfs|ntfs|all]
 //	          [-workload mkfiles|churn|all] [-points N] [-window N]
-//	          [-samples N] [-seed N] [-short] [-v] [-trace FILE]
+//	          [-samples N] [-seed N] [-depth N] [-short] [-v] [-trace FILE]
+//
+// -depth inserts the queued I/O scheduler between the file system and the
+// reordering write cache. At the default depth 1 the scheduler is a strict
+// passthrough and the matrix is byte-identical to the pre-scheduler stack;
+// deeper queues add the scheduler's own buffering to the crash surface.
 //
 // The "barriers" column is the number of ordering points the workload
 // actually issued, counted from observed cache-layer barrier events — the
@@ -44,6 +49,7 @@ func main() {
 	window := flag.Int("window", 0, "write-cache reordering window in blocks (default 16)")
 	samples := flag.Int("samples", 0, "sampled subsets per large window (default 8)")
 	seed := flag.Int64("seed", faultinject.DefaultSeed, "enumeration seed (exploration is deterministic per seed)")
+	depth := flag.Int("depth", 1, "scheduler queue depth between FS and write cache (1 = passthrough)")
 	short := flag.Bool("short", false, "smoke mode: few crash points, small windows")
 	verbose := flag.Bool("v", false, "print the first silently corrupt state per cell")
 	traceFile := flag.String("trace", "", "dump workload and per-state evidence traces as NDJSON to FILE (- for stdout)")
@@ -77,7 +83,8 @@ func main() {
 	}
 
 	cfg := fstest.ExploreConfig{
-		MaxPoints: *points,
+		MaxPoints:  *points,
+		QueueDepth: *depth,
 		Policy: faultinject.EnumPolicy{
 			Window:  *window,
 			Samples: *samples,

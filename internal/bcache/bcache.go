@@ -1,25 +1,73 @@
-// Package bcache provides the shared in-memory LRU buffer cache — the
+// Package bcache provides the shared in-memory buffer cache — the
 // simulation's stand-in for the page cache — used by every file system in
 // this repository.
+//
+// The cache is sharded by block number with one lock per shard, so
+// concurrent clients of the same file system stop serializing on a single
+// cache mutex: two readers touching different shards never contend. Each
+// shard runs its own LRU; dirty blocks are pinned shard-locally exactly as
+// they were pinned globally before. Hit/miss/evict accounting is exact —
+// every counter is updated under the owning shard's lock, never as a racy
+// best-effort add — and Stats() aggregates the shard counters under their
+// locks, so the totals obey the cache's arithmetic identities even while
+// other goroutines keep hammering it (asserted by a -race test).
 package bcache
 
 import (
 	"container/list"
+	"sync"
+	"sync/atomic"
 
 	"ironfs/internal/trace"
 )
 
-// Cache is a simple LRU buffer cache standing in for the page cache.
+// DefaultShards is the shard count used by New. Adjacent block numbers land
+// in different shards, so the sequential scans file systems love spread
+// naturally instead of convoying on one lock.
+const DefaultShards = 8
+
+// Stats are the cache's exact access counters. All fields are monotonic.
+type Stats struct {
+	// Lookups counts Get calls; Lookups == Hits + Misses always.
+	Lookups int64
+	// Hits and Misses split the lookups.
+	Hits, Misses int64
+	// Inserts counts Puts that created a new entry; Replacements counts
+	// Puts that overwrote an existing one.
+	Inserts, Replacements int64
+	// Evicts counts capacity evictions, Drops the entries removed by Drop.
+	Evicts, Drops int64
+}
+
+// Add returns the field-wise sum of s and o.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Lookups: s.Lookups + o.Lookups,
+		Hits:    s.Hits + o.Hits, Misses: s.Misses + o.Misses,
+		Inserts: s.Inserts + o.Inserts, Replacements: s.Replacements + o.Replacements,
+		Evicts: s.Evicts + o.Evicts, Drops: s.Drops + o.Drops,
+	}
+}
+
+// Cache is a sharded LRU buffer cache standing in for the page cache.
 // Clean blocks may be evicted at any time; dirty blocks are pinned until
 // the running transaction commits (metadata) or its ordered data is written
-// (data), after which commit marks them clean.
+// (data), after which commit marks them clean. All methods are safe for
+// concurrent use.
 type Cache struct {
+	shards []shard
+	// tr, when set, receives a hit/miss event per lookup and an evict
+	// event per capacity eviction. Nil costs nothing. Atomic so SetTracer
+	// may race with lookups without tripping the race detector.
+	tr atomic.Pointer[trace.Tracer]
+}
+
+type shard struct {
+	mu      sync.Mutex
 	cap     int
 	entries map[int64]*entry
 	lru     *list.List // front = most recent; values are *entry
-	// tr, when set, receives a hit/miss event per lookup and an evict
-	// event per capacity eviction. Nil costs nothing.
-	tr *trace.Tracer
+	stats   Stats
 }
 
 type entry struct {
@@ -29,46 +77,90 @@ type entry struct {
 	elem  *list.Element
 }
 
-// New returns a cache bounded to capBlocks resident blocks (minimum 16).
-func New(capBlocks int) *Cache {
+// New returns a cache bounded to capBlocks resident blocks (minimum 16),
+// split over DefaultShards shards.
+func New(capBlocks int) *Cache { return NewSharded(capBlocks, DefaultShards) }
+
+// NewSharded returns a cache of capBlocks total capacity over the given
+// shard count (minimum 1). Capacity is divided evenly; each shard keeps at
+// least two resident blocks so pathological shard counts stay functional.
+func NewSharded(capBlocks, shards int) *Cache {
 	if capBlocks < 16 {
 		capBlocks = 16
 	}
-	return &Cache{cap: capBlocks, entries: make(map[int64]*entry), lru: list.New()}
+	if shards < 1 {
+		shards = 1
+	}
+	perShard := (capBlocks + shards - 1) / shards
+	if perShard < 2 {
+		perShard = 2
+	}
+	c := &Cache{shards: make([]shard, shards)}
+	for i := range c.shards {
+		c.shards[i] = shard{cap: perShard, entries: make(map[int64]*entry), lru: list.New()}
+	}
+	return c
 }
 
 // SetTracer attaches the run's tracer; file systems wire it from the
 // device they mount (trace.Of) so buffer-cache behavior shows up in the
 // same evidence trace as the I/O it absorbs or causes.
-func (c *Cache) SetTracer(tr *trace.Tracer) { c.tr = tr }
+func (c *Cache) SetTracer(tr *trace.Tracer) { c.tr.Store(tr) }
 
-// get returns the cached data for block n, or nil on a miss. The returned
-// slice aliases the cache; callers mutating it must also call markDirty.
-func (c *Cache) Get(n int64) []byte {
-	e, ok := c.entries[n]
-	if !ok {
-		c.tr.Buffer(trace.KindMiss, n)
-		return nil
+// shardOf maps a block number to its owning shard.
+func (c *Cache) shardOf(n int64) *shard {
+	if n < 0 {
+		n = -n
 	}
-	c.lru.MoveToFront(e.elem)
-	c.tr.Buffer(trace.KindHit, n)
-	return e.data
+	return &c.shards[int(n)%len(c.shards)]
 }
 
-// put inserts (or replaces) block n with data, which the cache takes
+// Get returns the cached data for block n, or nil on a miss. The returned
+// slice aliases the cache; callers mutating it must also call MarkDirty.
+func (c *Cache) Get(n int64) []byte {
+	s := c.shardOf(n)
+	s.mu.Lock()
+	s.stats.Lookups++
+	e, ok := s.entries[n]
+	if !ok {
+		s.stats.Misses++
+		s.mu.Unlock()
+		c.tr.Load().Buffer(trace.KindMiss, n)
+		return nil
+	}
+	s.lru.MoveToFront(e.elem)
+	s.stats.Hits++
+	data := e.data
+	s.mu.Unlock()
+	c.tr.Load().Buffer(trace.KindHit, n)
+	return data
+}
+
+// Put inserts (or replaces) block n with data, which the cache takes
 // ownership of. Eviction of the least-recently-used clean block keeps the
-// cache within capacity.
+// shard within capacity.
 func (c *Cache) Put(n int64, data []byte, dirty bool) {
-	if e, ok := c.entries[n]; ok {
+	s := c.shardOf(n)
+	s.mu.Lock()
+	if e, ok := s.entries[n]; ok {
 		e.data = data
 		e.dirty = e.dirty || dirty
-		c.lru.MoveToFront(e.elem)
+		s.lru.MoveToFront(e.elem)
+		s.stats.Replacements++
+		s.mu.Unlock()
 		return
 	}
 	e := &entry{block: n, data: data, dirty: dirty}
-	e.elem = c.lru.PushFront(e)
-	c.entries[n] = e
-	c.evict()
+	e.elem = s.lru.PushFront(e)
+	s.entries[n] = e
+	s.stats.Inserts++
+	evicted := s.evictLocked()
+	s.mu.Unlock()
+	if tr := c.tr.Load(); tr.Enabled() {
+		for _, blk := range evicted {
+			tr.Buffer(trace.KindEvict, blk)
+		}
+	}
 }
 
 // MarkDirty pins block n until the next commit, reporting whether the
@@ -76,40 +168,87 @@ func (c *Cache) Put(n int64, data []byte, dirty bool) {
 // be evicted immediately when every other resident block is dirty) must
 // re-insert the buffer with Put(n, data, true) when this returns false.
 func (c *Cache) MarkDirty(n int64) bool {
-	if e, ok := c.entries[n]; ok {
+	s := c.shardOf(n)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[n]; ok {
 		e.dirty = true
 		return true
 	}
 	return false
 }
 
-// markClean unpins block n after a commit has persisted it.
+// MarkClean unpins block n after a commit has persisted it.
 func (c *Cache) MarkClean(n int64) {
-	if e, ok := c.entries[n]; ok {
+	s := c.shardOf(n)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[n]; ok {
 		e.dirty = false
 	}
 }
 
-// drop removes block n from the cache regardless of its dirty state (used
+// Drop removes block n from the cache regardless of its dirty state (used
 // when a block is freed or when its contents must be re-read from disk).
 func (c *Cache) Drop(n int64) {
-	if e, ok := c.entries[n]; ok {
-		c.lru.Remove(e.elem)
-		delete(c.entries, n)
+	s := c.shardOf(n)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[n]; ok {
+		s.lru.Remove(e.elem)
+		delete(s.entries, n)
+		s.stats.Drops++
 	}
 }
 
-// reset empties the cache.
+// Reset empties the cache. Counters are preserved: they are lifetime
+// totals, and Reset (unmount, crash simulation) is not an access.
 func (c *Cache) Reset() {
-	c.entries = make(map[int64]*entry)
-	c.lru.Init()
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.entries = make(map[int64]*entry)
+		s.lru.Init()
+		s.mu.Unlock()
+	}
 }
 
-func (c *Cache) evict() {
-	for len(c.entries) > c.cap {
+// Len returns the number of resident blocks across all shards.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns the exact aggregate counters. Each shard is read under its
+// lock, so the identities (Lookups == Hits+Misses; resident == Inserts -
+// Evicts - Drops) hold in the returned snapshot whenever the cache is
+// quiescent, and each shard's contribution is internally consistent even
+// when it is not.
+func (c *Cache) Stats() Stats {
+	var out Stats
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		out = out.Add(s.stats)
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// evictLocked brings the shard back under capacity, returning the evicted
+// block numbers. Caller holds s.mu.
+func (s *shard) evictLocked() []int64 {
+	var out []int64
+	for len(s.entries) > s.cap {
 		// Scan from the back for a clean victim.
 		var victim *entry
-		for el := c.lru.Back(); el != nil; el = el.Prev() {
+		for el := s.lru.Back(); el != nil; el = el.Prev() {
 			e := el.Value.(*entry)
 			if !e.dirty {
 				victim = e
@@ -117,10 +256,12 @@ func (c *Cache) evict() {
 			}
 		}
 		if victim == nil {
-			return // everything dirty; let the cache grow until commit
+			return out // everything dirty; let the shard grow until commit
 		}
-		c.lru.Remove(victim.elem)
-		delete(c.entries, victim.block)
-		c.tr.Buffer(trace.KindEvict, victim.block)
+		s.lru.Remove(victim.elem)
+		delete(s.entries, victim.block)
+		s.stats.Evicts++
+		out = append(out, victim.block)
 	}
+	return out
 }

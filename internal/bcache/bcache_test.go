@@ -27,8 +27,8 @@ func TestLRUEviction(t *testing.T) {
 	for i := int64(0); i < 20; i++ {
 		c.Put(i, blockOf(byte(i)), false)
 	}
-	if len(c.entries) > 16 {
-		t.Fatalf("cache grew to %d", len(c.entries))
+	if c.Len() > 16 {
+		t.Fatalf("cache grew to %d", c.Len())
 	}
 	// The oldest entries must be the evicted ones.
 	if c.Get(0) != nil || c.Get(1) != nil {

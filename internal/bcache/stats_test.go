@@ -1,0 +1,126 @@
+package bcache
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestStatsExactSingle pins the counter semantics on a quiet cache: every
+// identity must hold with exact equality.
+func TestStatsExactSingle(t *testing.T) {
+	c := New(16)
+	for i := int64(0); i < 24; i++ {
+		c.Put(i, blockOf(byte(i)), false)
+	}
+	c.Put(3, blockOf(0xFF), false) // replacement (3 may or may not be resident)
+	hits := 0
+	for i := int64(0); i < 24; i++ {
+		if c.Get(i) != nil {
+			hits++
+		}
+	}
+	c.Drop(23)
+	s := c.Stats()
+	if s.Lookups != 24 || s.Hits+s.Misses != s.Lookups {
+		t.Fatalf("lookup identity broken: %+v", s)
+	}
+	if int(s.Hits) != hits {
+		t.Fatalf("hits=%d, observed %d", s.Hits, hits)
+	}
+	if s.Inserts+s.Replacements != 25 {
+		t.Fatalf("puts identity broken: %+v", s)
+	}
+	if got := int64(c.Len()); got != s.Inserts-s.Evicts-s.Drops {
+		t.Fatalf("resident identity broken: len=%d stats=%+v", got, s)
+	}
+}
+
+// TestStatsExactConcurrent is the satellite's -race accounting test: many
+// goroutines hammer overlapping block ranges, and afterwards the counters
+// must balance exactly — not approximately. A racy best-effort counter
+// loses increments under this load and fails the equalities below (and the
+// race detector catches the data race itself).
+func TestStatsExactConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 2000
+		blocks  = 97 // overlapping, not worker-private, and coprime to the shard count
+	)
+	c := New(64)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				b := int64((w*rounds + i*7) % blocks)
+				switch i % 4 {
+				case 0, 1:
+					c.Get(b)
+				case 2:
+					c.Put(b, blockOf(byte(b)), false)
+				case 3:
+					if i%16 == 3 {
+						c.Drop(b)
+					} else {
+						c.Get(b)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s := c.Stats()
+	wantLookups := int64(0)
+	wantPuts := int64(0)
+	for w := 0; w < workers; w++ {
+		for i := 0; i < rounds; i++ {
+			switch i % 4 {
+			case 0, 1:
+				wantLookups++
+			case 2:
+				wantPuts++
+			case 3:
+				if i%16 != 3 {
+					wantLookups++
+				}
+			}
+		}
+	}
+	if s.Lookups != wantLookups {
+		t.Errorf("Lookups = %d, want exactly %d", s.Lookups, wantLookups)
+	}
+	if s.Hits+s.Misses != s.Lookups {
+		t.Errorf("Hits(%d)+Misses(%d) != Lookups(%d)", s.Hits, s.Misses, s.Lookups)
+	}
+	if s.Inserts+s.Replacements != wantPuts {
+		t.Errorf("Inserts(%d)+Replacements(%d) != Puts(%d)", s.Inserts, s.Replacements, wantPuts)
+	}
+	if got := int64(c.Len()); got != s.Inserts-s.Evicts-s.Drops {
+		t.Errorf("resident identity: Len=%d, Inserts-Evicts-Drops=%d (%+v)",
+			got, s.Inserts-s.Evicts-s.Drops, s)
+	}
+}
+
+// TestShardedConcurrentCoherence: concurrent writers on disjoint blocks
+// must never see each other's data, and dirty pins must hold per shard.
+func TestShardedConcurrentCoherence(t *testing.T) {
+	c := NewSharded(64, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int64(w * 1000)
+			for i := int64(0); i < 200; i++ {
+				c.Put(base+i, []byte{byte(w)}, i%5 == 0)
+				if got := c.Get(base + i); got != nil && got[0] != byte(w) {
+					t.Errorf("worker %d read %d", w, got[0])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

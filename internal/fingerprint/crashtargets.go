@@ -4,11 +4,7 @@ import (
 	"fmt"
 
 	"ironfs/internal/disk"
-	"ironfs/internal/fs/ext3"
-	"ironfs/internal/fs/ixt3"
-	"ironfs/internal/fs/jfs"
-	"ironfs/internal/fs/ntfs"
-	"ironfs/internal/fs/reiser"
+	"ironfs/internal/fs"
 	"ironfs/internal/fstest"
 	"ironfs/internal/iron"
 	"ironfs/internal/vfs"
@@ -16,13 +12,34 @@ import (
 
 // Crash-exploration targets. They live here rather than in fstest because
 // fstest cannot import the fs packages (their in-package tests import
-// fstest).
+// fstest). Each row is built generically from the fs registry.
 
-// crashExt3Opts is a compact ext3 geometry for crash exploration: the
+// crashGeom is a compact ext3-family geometry for crash exploration: the
 // images are cloned once per crash state, so small is fast. One 512-block
 // group, a 64-block journal, 32 inodes.
-func crashExt3Opts() ext3.Options {
-	return ext3.Options{BlocksPerGroup: 512, JournalBlocks: 64, ITableBlocks: 2}
+func crashGeom(o fs.Options) fs.Options {
+	o.BlocksPerGroup, o.JournalBlocks, o.ITableBlocks = 512, 64, 2
+	return o
+}
+
+// crashTarget builds one ExploreTarget from the registry.
+func crashTarget(label, name string, opts fs.Options) fstest.ExploreTarget {
+	checker, err := fs.NewChecker(name, opts)
+	if err != nil {
+		panic(err) // built-in names only
+	}
+	return fstest.ExploreTarget{
+		Name: label, DiskBlocks: 1024,
+		Mkfs: func(dev disk.Device) error { return fs.Mkfs(name, dev, opts) },
+		New: func(dev disk.Device, rec *iron.Recorder) vfs.FileSystem {
+			fsys, err := fs.New(name, dev, opts, rec)
+			if err != nil {
+				panic(err)
+			}
+			return fsys
+		},
+		Check: checker.Check,
+	}
 }
 
 // CrashTargets returns the crash-exploration matrix rows:
@@ -36,65 +53,13 @@ func crashExt3Opts() ext3.Options {
 // the payload/commit ordering point, but only ixt3 can tell a reordered
 // commit from a real one.
 func CrashTargets() []fstest.ExploreTarget {
-	ext3Opts := crashExt3Opts()
-	nbOpts := crashExt3Opts()
-	nbOpts.NoBarrier = true
-	tcOpts := crashExt3Opts()
-	tcOpts.TxnChecksum = true
-	tcOpts.FixBugs = true
-	tcFeat := ixt3.Features{Tc: true}
-
 	return []fstest.ExploreTarget{
-		{
-			Name: "ext3", DiskBlocks: 1024,
-			Mkfs: func(dev disk.Device) error { return ext3.Mkfs(dev, ext3Opts) },
-			New: func(dev disk.Device, rec *iron.Recorder) vfs.FileSystem {
-				return ext3.New(dev, ext3Opts, rec)
-			},
-			Check: func(dev disk.Device) error { return ext3.CheckImage(dev, ext3Opts) },
-		},
-		{
-			Name: "ext3-nobarrier", DiskBlocks: 1024,
-			Mkfs: func(dev disk.Device) error { return ext3.Mkfs(dev, nbOpts) },
-			New: func(dev disk.Device, rec *iron.Recorder) vfs.FileSystem {
-				return ext3.New(dev, nbOpts, rec)
-			},
-			Check: func(dev disk.Device) error { return ext3.CheckImage(dev, nbOpts) },
-		},
-		{
-			Name: "ixt3", DiskBlocks: 1024,
-			Mkfs: func(dev disk.Device) error { return ext3.Mkfs(dev, tcOpts) },
-			New: func(dev disk.Device, rec *iron.Recorder) vfs.FileSystem {
-				return ext3.New(dev, tcOpts, rec)
-			},
-			// Layout overrides only matter at mkfs; for mounting, the
-			// feature set is all the oracle needs.
-			Check: func(dev disk.Device) error { return ixt3.Check(dev, tcFeat) },
-		},
-		{
-			Name: "reiserfs", DiskBlocks: 1024,
-			Mkfs: reiser.Mkfs,
-			New: func(dev disk.Device, rec *iron.Recorder) vfs.FileSystem {
-				return reiser.New(dev, rec)
-			},
-			Check: reiser.Check,
-		},
-		{
-			Name: "jfs", DiskBlocks: 1024,
-			Mkfs: jfs.Mkfs,
-			New: func(dev disk.Device, rec *iron.Recorder) vfs.FileSystem {
-				return jfs.New(dev, rec)
-			},
-			Check: jfs.Check,
-		},
-		{
-			Name: "ntfs", DiskBlocks: 1024,
-			Mkfs: ntfs.Mkfs,
-			New: func(dev disk.Device, rec *iron.Recorder) vfs.FileSystem {
-				return ntfs.New(dev, rec)
-			},
-			Check: ntfs.Check,
-		},
+		crashTarget("ext3", "ext3", crashGeom(fs.Options{})),
+		crashTarget("ext3-nobarrier", "ext3", crashGeom(fs.Options{NoBarrier: true})),
+		crashTarget("ixt3", "ixt3", crashGeom(fs.Options{Tc: true})),
+		crashTarget("reiserfs", "reiserfs", fs.Options{}),
+		crashTarget("jfs", "jfs", fs.Options{}),
+		crashTarget("ntfs", "ntfs", fs.Options{}),
 	}
 }
 

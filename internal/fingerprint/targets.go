@@ -12,17 +12,15 @@ import (
 
 	"ironfs/internal/disk"
 	"ironfs/internal/faultinject"
-	"ironfs/internal/fs/ext3"
-	"ironfs/internal/fs/ixt3"
-	"ironfs/internal/fs/jfs"
-	"ironfs/internal/fs/ntfs"
-	"ironfs/internal/fs/reiser"
+	"ironfs/internal/fs"
 	"ironfs/internal/iron"
 	"ironfs/internal/vfs"
 )
 
 // Target describes one file system under test: how to format a device,
-// instantiate the file system, and build its gray-box type resolver.
+// instantiate the file system, and build its gray-box type resolver. All
+// built-in targets are constructed generically from the fs registry; only
+// the per-target preparation hook (Extra) is bespoke.
 type Target struct {
 	// Name labels the target ("ext3", "reiserfs", "jfs", "ntfs", "ixt3").
 	Name string
@@ -42,90 +40,71 @@ type Target struct {
 	Extra func(fs vfs.FileSystem) error
 }
 
-// Ext3 is the stock-ext3 target.
-func Ext3() Target {
+// registryTarget builds a Target for the named registered file system with
+// the given mount options.
+func registryTarget(name string, opts fs.Options) Target {
+	blocks, err := fs.BlockTypes(name)
+	if err != nil {
+		panic(err) // built-in names only
+	}
 	return Target{
-		Name:   "ext3",
-		Blocks: ext3.BlockTypes(),
-		Mkfs:   func(dev disk.Device) error { return ext3.Mkfs(dev, ext3.Options{}) },
+		Name:   name,
+		Blocks: blocks,
+		Mkfs:   func(dev disk.Device) error { return fs.Mkfs(name, dev, opts) },
 		New: func(dev disk.Device, rec *iron.Recorder) vfs.FileSystem {
-			return ext3.New(dev, ext3.Options{}, rec)
+			fsys, err := fs.New(name, dev, opts, rec)
+			if err != nil {
+				panic(err)
+			}
+			return fsys
 		},
-		NewResolver: func(raw *disk.Disk) faultinject.TypeResolver { return ext3.NewResolver(raw) },
-		Health:      func(fs vfs.FileSystem) vfs.HealthState { return fs.(*ext3.FS).Health() },
+		NewResolver: func(raw *disk.Disk) faultinject.TypeResolver {
+			r, err := fs.NewResolver(name, raw)
+			if err != nil {
+				panic(err)
+			}
+			return r
+		},
+		Health: func(fsys vfs.FileSystem) vfs.HealthState {
+			st, _ := fs.Health(fsys)
+			return st
+		},
 	}
 }
 
+// Ext3 is the stock-ext3 target.
+func Ext3() Target { return registryTarget("ext3", fs.Options{}) }
+
 // Ixt3 is the full IRON ext3 target (Figure 3).
 func Ixt3() Target {
-	feats := ixt3.All()
-	return Target{
-		Name:   "ixt3",
-		Blocks: ext3.BlockTypes(),
-		Mkfs:   func(dev disk.Device) error { return ixt3.Mkfs(dev, feats) },
-		New: func(dev disk.Device, rec *iron.Recorder) vfs.FileSystem {
-			return ixt3.New(dev, feats, rec)
-		},
-		NewResolver: func(raw *disk.Disk) faultinject.TypeResolver { return ixt3.NewResolver(raw) },
-		Health:      func(fs vfs.FileSystem) vfs.HealthState { return fs.(*ext3.FS).Health() },
-	}
+	return registryTarget("ixt3", fs.Options{Mc: true, Dc: true, Mr: true, Dp: true, Tc: true})
 }
 
 // Reiser is the ReiserFS target.
 func Reiser() Target {
-	return Target{
-		Name:   "reiserfs",
-		Blocks: reiser.BlockTypes(),
-		Mkfs:   reiser.Mkfs,
-		New: func(dev disk.Device, rec *iron.Recorder) vfs.FileSystem {
-			return reiser.New(dev, rec)
-		},
-		NewResolver: func(raw *disk.Disk) faultinject.TypeResolver { return reiser.NewResolver(raw) },
-		Health:      func(fs vfs.FileSystem) vfs.HealthState { return fs.(*reiser.FS).Health() },
-		// A few thousand tiny objects push the tree to height three, so
-		// genuine interior nodes sit between the root and the leaves.
-		Extra: func(fs vfs.FileSystem) error {
-			if err := fs.Mkdir("/deeptree", 0o755); err != nil {
+	t := registryTarget("reiserfs", fs.Options{})
+	// A few thousand tiny objects push the tree to height three, so
+	// genuine interior nodes sit between the root and the leaves.
+	t.Extra = func(fsys vfs.FileSystem) error {
+		if err := fsys.Mkdir("/deeptree", 0o755); err != nil {
+			return err
+		}
+		for i := 0; i < 4200; i++ {
+			p := fmt.Sprintf("/deeptree/t%04d", i)
+			if err := fsys.Create(p, 0o644); err != nil {
 				return err
 			}
-			for i := 0; i < 4200; i++ {
-				p := fmt.Sprintf("/deeptree/t%04d", i)
-				if err := fs.Create(p, 0o644); err != nil {
-					return err
-				}
-			}
-			return nil
-		},
+		}
+		return nil
 	}
+	return t
 }
 
 // JFS is the IBM JFS target.
-func JFS() Target {
-	return Target{
-		Name:   "jfs",
-		Blocks: jfs.BlockTypes(),
-		Mkfs:   jfs.Mkfs,
-		New: func(dev disk.Device, rec *iron.Recorder) vfs.FileSystem {
-			return jfs.New(dev, rec)
-		},
-		NewResolver: func(raw *disk.Disk) faultinject.TypeResolver { return jfs.NewResolver(raw) },
-		Health:      func(fs vfs.FileSystem) vfs.HealthState { return fs.(*jfs.FS).Health() },
-	}
-}
+func JFS() Target { return registryTarget("jfs", fs.Options{}) }
 
 // NTFS is the Windows NTFS target.
-func NTFS() Target {
-	return Target{
-		Name:   "ntfs",
-		Blocks: ntfs.BlockTypes(),
-		Mkfs:   ntfs.Mkfs,
-		New: func(dev disk.Device, rec *iron.Recorder) vfs.FileSystem {
-			return ntfs.New(dev, rec)
-		},
-		NewResolver: func(raw *disk.Disk) faultinject.TypeResolver { return ntfs.NewResolver(raw) },
-		Health:      func(fs vfs.FileSystem) vfs.HealthState { return fs.(*ntfs.FS).Health() },
-	}
-}
+func NTFS() Target { return registryTarget("ntfs", fs.Options{}) }
 
 // Targets returns every built-in target, in the paper's order.
 func Targets() []Target {

@@ -3,6 +3,7 @@ package ext3
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ironfs/internal/bcache"
 	"ironfs/internal/disk"
@@ -12,15 +13,20 @@ import (
 )
 
 // FS is an ext3/ixt3 file system instance bound to a block device.
-// All operations are serialized by a single lock, which models the
-// single-threaded journal commit path well enough for this study.
+// Mutating operations are serialized by a write lock, which models the
+// single-threaded journal commit path; read-only operations (Stat, Open,
+// ReadDir, and — with Options.NoAtime — Read) share a read lock, so
+// concurrent clients' lookups and reads proceed in parallel through the
+// sharded buffer cache. Everything a read path touches is either immutable
+// after mount (layout, options) or internally synchronized (bcache,
+// iron.Recorder, vfs.Health, the retries counter).
 type FS struct {
 	dev  disk.Device
 	opts Options
 	rec  *iron.Recorder
 	tr   *trace.Tracer
 
-	mu          sync.Mutex
+	mu          sync.RWMutex
 	health      vfs.Health
 	lay         layout
 	gds         []groupDesc
@@ -36,8 +42,21 @@ type FS struct {
 	parityskip  bool  // whole-file truncate: parity reset, not folded
 	timeCtr     int64 // logical clock for timestamps
 
-	// retries counts successful RRetry recoveries, for reports.
-	retries int
+	// committing is true while a frozen transaction's device writes are in
+	// flight with fs.mu released. It serializes commits (and checkpoints)
+	// against each other while letting the running transaction keep
+	// accepting operations. commitDone is signalled when it clears.
+	committing bool
+	commitDone *sync.Cond
+	// durableSeq is the last commit sequence whose records are fully on
+	// the device. It trails fs.seq exactly while a commit is in flight;
+	// fsync waiters wait on it rather than on fs.committing, so a stream
+	// of back-to-back commits cannot starve them.
+	durableSeq uint64
+
+	// retries counts successful RRetry recoveries, for reports. Atomic:
+	// the data read path increments it under a shared (read) lock.
+	retries atomic.Int64
 }
 
 // assert the interface is satisfied.
@@ -54,6 +73,7 @@ func New(dev disk.Device, opts Options, rec *iron.Recorder) *FS {
 		cache: bcache.New(2048),
 	}
 	fs.cache.SetTracer(fs.tr)
+	fs.commitDone = sync.NewCond(&fs.mu)
 	return fs
 }
 
@@ -157,7 +177,7 @@ func (fs *FS) readData(blk int64, bt iron.BlockType, in *inode, logical int64, p
 		fs.rec.Recover(iron.RRetry, bt, "retry originally requested block")
 		err = fs.dev.ReadBlock(blk, buf)
 		if err == nil {
-			fs.retries++
+			fs.retries.Add(1)
 		}
 	}
 	if err != nil {
@@ -345,6 +365,7 @@ func (fs *FS) Mount() error {
 	}
 
 	fs.tx = newTxn(fs)
+	fs.durableSeq = fs.seq
 	fs.pending = pendingState{}
 	fs.rmapScanned = false
 	fs.lay.sb.Clean = 0
@@ -435,8 +456,8 @@ func (fs *FS) syncLocked() error {
 
 // Statfs implements vfs.FileSystem.
 func (fs *FS) Statfs() (vfs.StatFS, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	if !fs.mounted {
 		return vfs.StatFS{}, vfs.ErrNotMounted
 	}

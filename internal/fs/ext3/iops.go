@@ -44,6 +44,7 @@ func (fs *FS) storeInode(ino uint32, in *inode) error {
 		return err
 	}
 	in.marshal(buf[off : off+InodeSize])
+	fs.tx.touchInode(ino)
 	return nil
 }
 
@@ -60,6 +61,7 @@ func (fs *FS) clearInode(ino uint32) error {
 	for i := 0; i < InodeSize; i++ {
 		buf[off+i] = 0
 	}
+	fs.tx.touchInode(ino)
 	return nil
 }
 

@@ -3,6 +3,7 @@ package ext3
 import (
 	"encoding/binary"
 	"fmt"
+	"runtime"
 
 	"ironfs/internal/disk"
 	"ironfs/internal/iron"
@@ -59,6 +60,12 @@ type txn struct {
 	dataOrder []int64
 	dataType  map[int64]iron.BlockType
 	revokes   []int64
+	// inodes are the inode numbers this transaction has modified (every
+	// inode mutation funnels through storeInode/clearInode). Fsync uses
+	// it for group commit: when another client's commit already carried
+	// this file's state to the journal, the inode is absent here and the
+	// fsync returns without paying for a commit of strangers' blocks.
+	inodes map[uint32]bool
 }
 
 func newTxn(fs *FS) *txn {
@@ -66,8 +73,15 @@ func newTxn(fs *FS) *txn {
 		fs:       fs,
 		metaType: make(map[int64]iron.BlockType),
 		dataType: make(map[int64]iron.BlockType),
+		inodes:   make(map[uint32]bool),
 	}
 }
+
+// touchInode records that ino was modified in this transaction.
+func (t *txn) touchInode(ino uint32) { t.inodes[ino] = true }
+
+// touched reports whether ino has uncommitted changes in this transaction.
+func (t *txn) touched(ino uint32) bool { return t.inodes[ino] }
 
 func (t *txn) empty() bool {
 	return len(t.metaOrder) == 0 && len(t.dataOrder) == 0 && len(t.revokes) == 0
@@ -191,12 +205,41 @@ type pendingState struct {
 // pinned set well under the cache capacity.
 const maxTxnData = 768
 
+// commitYields is how many scheduler yields the committer grants, with the
+// lock released, before freezing — the window in which concurrent clients
+// join the transaction (JBD's commit-batching sleep, in yield form).
+const commitYields = 8
+
 // maybeCommit commits the running transaction if it has grown large.
 func (fs *FS) maybeCommit() error {
+	if fs.committing {
+		// A commit is already writing; the running transaction keeps
+		// absorbing operations and goes out in the next one.
+		return nil
+	}
 	if len(fs.tx.metaOrder) >= maxTxnMeta || len(fs.tx.dataOrder) >= maxTxnData {
 		return fs.commitLocked()
 	}
 	return nil
+}
+
+// commitPlan is a frozen transaction: every device request materialized
+// (payloads copied) so the writes can proceed without the file-system
+// lock. While a plan's I/O is in flight the running transaction keeps
+// accepting operations — the JBD running/committing split — which is what
+// lets concurrent clients pile into the next commit instead of stalling.
+type commitPlan struct {
+	seq       uint64
+	headEnd   int64 // journal head after this transaction's records
+	dataReqs  []disk.Request
+	dataTypes []iron.BlockType
+	jReqs     []disk.Request
+	jTypes    []iron.BlockType
+	commitBlk int64
+	commit    []byte
+	metaOrder []int64
+	metaType  map[int64]iron.BlockType
+	dataOrder []int64
 }
 
 // commitLocked commits the running transaction: ordered data first, then
@@ -205,14 +248,61 @@ func (fs *FS) maybeCommit() error {
 // whole transaction and is issued in the same batch — no ordering barrier
 // (§6.1). Checkpointing of home locations is deferred until the journal
 // fills, sync is *not* required to checkpoint.
+//
+// The commit runs in three phases: freeze (under fs.mu) materializes the
+// plan and installs a fresh running transaction; the device writes happen
+// with fs.mu RELEASED, serialized against other commits by fs.committing;
+// finish (under fs.mu again) queues the checkpoint work. Callers hold
+// fs.mu for writing and get it back on return, but must tolerate the
+// window — every caller commits at the end of its operation, with no
+// state carried across the call.
 func (fs *FS) commitLocked() error {
-	t := fs.tx
-	if t.empty() {
+	for fs.committing {
+		fs.commitDone.Wait()
+	}
+	if fs.tx.empty() {
 		return nil
 	}
 	if err := fs.health.CheckWrite(); err != nil {
 		return err
 	}
+	// Commit batching: before freezing, release the lock and yield so
+	// other clients mid-operation can finish joining the running
+	// transaction — their fsyncs then ride this commit instead of paying
+	// for their own. A lone caller loses nothing: the yields return
+	// immediately and the transaction freezes unchanged.
+	fs.committing = true
+	fs.mu.Unlock()
+	for i := 0; i < commitYields; i++ {
+		runtime.Gosched()
+	}
+	fs.mu.Lock()
+	plan, err := fs.freezeTxnLocked()
+	if err == nil {
+		fs.mu.Unlock()
+		err = fs.writeCommitPlan(plan)
+		fs.mu.Lock()
+	}
+	fs.committing = false
+	if plan != nil {
+		// Advance even on a failed write: waiters must not hang, and the
+		// failure surfaces through the health state they re-check.
+		fs.durableSeq = plan.seq
+	}
+	fs.commitDone.Broadcast()
+	if err != nil {
+		return err
+	}
+	return fs.finishCommitLocked(plan)
+}
+
+// freezeTxnLocked materializes the running transaction into a commitPlan
+// and installs a fresh running transaction. Every payload is copied under
+// the lock, so later mutations of the cached buffers cannot tear the
+// frozen image. The journal head and sequence advance here — reservations
+// are serialized because freezes only run with no commit in flight.
+func (fs *FS) freezeTxnLocked() (*commitPlan, error) {
+	t := fs.tx
 	fs.tr.Phase("commit", fmt.Sprintf("seq=%d meta=%d data=%d", fs.seq+1, len(t.metaOrder), len(t.dataOrder)))
 
 	// Fold checksum-table updates into the transaction so the entries
@@ -224,7 +314,7 @@ func (fs *FS) commitLocked() error {
 			blk := t.dataOrder[i]
 			if fs.opts.DataChecksum && fs.cksumCovers(blk) {
 				if err := fs.updateCksumTxn(blk, fs.cache.Get(blk)); err != nil {
-					return err
+					return nil, err
 				}
 			}
 		}
@@ -232,7 +322,7 @@ func (fs *FS) commitLocked() error {
 			blk := t.metaOrder[i]
 			if fs.opts.MetaChecksum && fs.cksumCovers(blk) {
 				if err := fs.updateCksumTxn(blk, fs.cache.Get(blk)); err != nil {
-					return err
+					return nil, err
 				}
 			}
 		}
@@ -253,25 +343,20 @@ func (fs *FS) commitLocked() error {
 		}
 	}
 
-	// Step 1: ordered data to its home location, before the metadata that
-	// references it commits.
-	if len(t.dataOrder) > 0 {
-		reqs := make([]disk.Request, 0, len(t.dataOrder))
-		types := make([]iron.BlockType, 0, len(t.dataOrder))
-		for _, blk := range t.dataOrder {
-			reqs = append(reqs, disk.Request{Block: blk, Data: fs.cache.Get(blk)})
-			types = append(types, t.dataType[blk])
-		}
-		if err := fs.devWriteBatch(reqs, types); err != nil {
-			return err // FixBugs only: stock ext3 sails on
-		}
-		if err := fs.dev.Barrier(); err != nil {
-			return vfs.ErrIO
-		}
+	// Ordered data to its home location (written before the metadata that
+	// references it commits). The payloads are frozen copies.
+	plan := &commitPlan{
+		metaOrder: t.metaOrder, metaType: t.metaType, dataOrder: t.dataOrder,
+	}
+	for _, blk := range t.dataOrder {
+		cp := make([]byte, BlockSize)
+		copy(cp, fs.cache.Get(blk))
+		plan.dataReqs = append(plan.dataReqs, disk.Request{Block: blk, Data: cp})
+		plan.dataTypes = append(plan.dataTypes, t.dataType[blk])
 	}
 
-	// Step 2: the journal records. Layout: revoke blocks, descriptor,
-	// journaled copies, commit.
+	// The journal records. Layout: revoke blocks, descriptor, journaled
+	// copies, commit.
 	seq := fs.seq + 1
 	nJData := len(t.metaOrder)
 	nRevoke := 0
@@ -280,13 +365,11 @@ func (fs *FS) commitLocked() error {
 	}
 	txnLen := int64(nRevoke + 1 + nJData + 1) // revokes + desc + data + commit
 	if err := fs.ensureJournalSpace(txnLen); err != nil {
-		return err
+		return nil, err
 	}
 	base := int64(fs.lay.sb.JournalStart)
 	rel := fs.jhead
 
-	var reqs []disk.Request
-	var types []iron.BlockType
 	le := binary.LittleEndian
 
 	// Revoke blocks.
@@ -300,8 +383,8 @@ func (fs *FS) commitLocked() error {
 		for j, blk := range t.revokes[lo:hi] {
 			le.PutUint64(b[16+8*j:], uint64(blk))
 		}
-		reqs = append(reqs, disk.Request{Block: base + rel, Data: b})
-		types = append(types, BTJRevoke)
+		plan.jReqs = append(plan.jReqs, disk.Request{Block: base + rel, Data: b})
+		plan.jTypes = append(plan.jTypes, BTJRevoke)
 		rel++
 	}
 
@@ -314,8 +397,8 @@ func (fs *FS) commitLocked() error {
 	for i, blk := range t.metaOrder {
 		le.PutUint64(desc[16+8*i:], uint64(blk))
 	}
-	reqs = append(reqs, disk.Request{Block: base + rel, Data: desc})
-	types = append(types, BTJDesc)
+	plan.jReqs = append(plan.jReqs, disk.Request{Block: base + rel, Data: desc})
+	plan.jTypes = append(plan.jTypes, BTJDesc)
 	rel++
 
 	// Journaled copies of the metadata.
@@ -324,8 +407,8 @@ func (fs *FS) commitLocked() error {
 		data := fs.cache.Get(blk)
 		cp := make([]byte, BlockSize)
 		copy(cp, data)
-		reqs = append(reqs, disk.Request{Block: base + rel, Data: cp})
-		types = append(types, BTJData)
+		plan.jReqs = append(plan.jReqs, disk.Request{Block: base + rel, Data: cp})
+		plan.jTypes = append(plan.jTypes, BTJData)
 		if fs.opts.TxnChecksum {
 			tcHash ^= cksumBlock(cp)
 		}
@@ -341,8 +424,8 @@ func (fs *FS) commitLocked() error {
 		if rep := replicaOf[blk]; rep != 0 {
 			cp := make([]byte, BlockSize)
 			copy(cp, fs.cache.Get(blk))
-			reqs = append(reqs, disk.Request{Block: rep, Data: cp})
-			types = append(types, BTReplica)
+			plan.jReqs = append(plan.jReqs, disk.Request{Block: rep, Data: cp})
+			plan.jTypes = append(plan.jTypes, BTReplica)
 		}
 	}
 
@@ -358,10 +441,38 @@ func (fs *FS) commitLocked() error {
 	if fs.opts.TxnChecksum {
 		// Tc: the whole transaction, commit included, goes out in one
 		// batch — the checksum, not ordering, proves atomicity.
-		reqs = append(reqs, disk.Request{Block: base + rel, Data: commit})
-		types = append(types, BTJCommit)
+		plan.jReqs = append(plan.jReqs, disk.Request{Block: base + rel, Data: commit})
+		plan.jTypes = append(plan.jTypes, BTJCommit)
 		rel++
-		if err := fs.devWriteBatch(reqs, types); err != nil {
+	} else {
+		plan.commitBlk = base + rel
+		plan.commit = commit
+		rel++
+	}
+
+	plan.seq = seq
+	plan.headEnd = rel
+	fs.seq = seq
+	fs.jhead = rel
+	fs.tx = newTxn(fs)
+	return plan, nil
+}
+
+// writeCommitPlan issues the frozen transaction's device writes. It runs
+// without fs.mu held — fs.committing serializes it against other commits
+// and checkpoints — and touches only the plan's frozen payloads plus
+// thread-safe members (device, recorder, health, tracer).
+func (fs *FS) writeCommitPlan(plan *commitPlan) error {
+	if len(plan.dataReqs) > 0 {
+		if err := fs.devWriteBatch(plan.dataReqs, plan.dataTypes); err != nil {
+			return err // FixBugs only: stock ext3 sails on
+		}
+		if err := fs.dev.Barrier(); err != nil {
+			return vfs.ErrIO
+		}
+	}
+	if fs.opts.TxnChecksum {
+		if err := fs.devWriteBatch(plan.jReqs, plan.jTypes); err != nil {
 			return err
 		}
 	} else {
@@ -372,7 +483,7 @@ func (fs *FS) commitLocked() error {
 		// error unless FixBugs is set. Under NoBarrier the ordering point
 		// is omitted (write cache with flushes disabled, §6.2), so a
 		// crash may land the commit without its payload.
-		if err := fs.devWriteBatch(reqs, types); err != nil {
+		if err := fs.devWriteBatch(plan.jReqs, plan.jTypes); err != nil {
 			return err
 		}
 		if !fs.opts.NoBarrier {
@@ -380,35 +491,41 @@ func (fs *FS) commitLocked() error {
 				return vfs.ErrIO
 			}
 		}
-		if err := fs.devWrite(base+rel, commit, BTJCommit); err != nil {
+		if err := fs.devWrite(plan.commitBlk, plan.commit, BTJCommit); err != nil {
 			return err
 		}
-		rel++
 	}
 	if err := fs.dev.Barrier(); err != nil {
 		return vfs.ErrIO
 	}
+	return nil
+}
 
-	// The transaction is durable (replicas included). Queue its home
-	// writes for checkpoint.
-	for _, blk := range t.metaOrder {
+// finishCommitLocked queues the durable transaction's home writes for
+// checkpoint and unpins its ordered data.
+func (fs *FS) finishCommitLocked(plan *commitPlan) error {
+	for _, blk := range plan.metaOrder {
 		if fs.pending.seen == nil {
 			fs.pending.seen = map[int64]bool{}
 		}
 		if !fs.pending.seen[blk] {
 			fs.pending.seen[blk] = true
 			fs.pending.entries = append(fs.pending.entries,
-				checkpointEntry{home: blk, bt: t.metaType[blk]})
+				checkpointEntry{home: blk, bt: plan.metaType[blk]})
 		}
 	}
-	// Ordered data is already home; unpin it now.
-	for _, blk := range t.dataOrder {
+	// Ordered data is already home; unpin it — unless the running
+	// transaction re-dirtied the block while the commit was in flight,
+	// in which case the pin now belongs to it.
+	for _, blk := range plan.dataOrder {
+		if _, again := fs.tx.dataType[blk]; again {
+			continue
+		}
+		if _, again := fs.tx.metaType[blk]; again {
+			continue
+		}
 		fs.cache.MarkClean(blk)
 	}
-
-	fs.seq = seq
-	fs.jhead = rel
-	fs.tx = newTxn(fs)
 
 	if len(fs.pending.entries) >= checkpointHighWater {
 		return fs.checkpointLocked()

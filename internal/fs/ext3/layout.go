@@ -123,6 +123,12 @@ type Options struct {
 	// may reach media before the data it covers. Irrelevant under
 	// TxnChecksum, whose commit carries its own proof of atomicity.
 	NoBarrier bool
+
+	// NoAtime suppresses the POSIX atime update on Read, the mount option
+	// every performance-sensitive deployment sets. With it, Read mutates
+	// nothing and runs under the file system's shared lock, so concurrent
+	// clients read in parallel.
+	NoAtime bool
 }
 
 // AllIron returns the options for full ixt3: every IRON feature on and the

@@ -226,8 +226,8 @@ func (fs *FS) Symlink(target, linkpath string) error {
 
 // Readlink implements vfs.FileSystem.
 func (fs *FS) Readlink(path string) (string, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	if err := fs.guardRead(); err != nil {
 		return "", err
 	}
@@ -243,8 +243,8 @@ func (fs *FS) Readlink(path string) (string, error) {
 
 // Open implements vfs.FileSystem: a pure existence/type walk.
 func (fs *FS) Open(path string) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	if err := fs.guardRead(); err != nil {
 		return err
 	}
@@ -254,8 +254,8 @@ func (fs *FS) Open(path string) error {
 
 // Access implements vfs.FileSystem.
 func (fs *FS) Access(path string) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	if err := fs.guardRead(); err != nil {
 		return err
 	}
@@ -265,8 +265,8 @@ func (fs *FS) Access(path string) error {
 
 // Stat implements vfs.FileSystem.
 func (fs *FS) Stat(path string) (vfs.FileInfo, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	if err := fs.guardRead(); err != nil {
 		return vfs.FileInfo{}, err
 	}
@@ -279,8 +279,8 @@ func (fs *FS) Stat(path string) (vfs.FileInfo, error) {
 
 // Lstat implements vfs.FileSystem.
 func (fs *FS) Lstat(path string) (vfs.FileInfo, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	if err := fs.guardRead(); err != nil {
 		return vfs.FileInfo{}, err
 	}
@@ -293,8 +293,8 @@ func (fs *FS) Lstat(path string) (vfs.FileInfo, error) {
 
 // ReadDir implements vfs.FileSystem.
 func (fs *FS) ReadDir(path string) ([]vfs.DirEntry, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	if err := fs.guardRead(); err != nil {
 		return nil, err
 	}
@@ -308,26 +308,56 @@ func (fs *FS) ReadDir(path string) ([]vfs.DirEntry, error) {
 	return fs.dirList(in)
 }
 
-// Read implements vfs.FileSystem.
+// Read implements vfs.FileSystem. With Options.NoAtime the read runs under
+// the shared lock — it mutates nothing but the (internally synchronized)
+// buffer cache, so concurrent readers proceed in parallel. Otherwise the
+// POSIX atime update makes Read a mutating, journaled operation and it
+// takes the write lock like any other.
 func (fs *FS) Read(path string, off int64, buf []byte) (int, error) {
+	if fs.opts.NoAtime {
+		fs.mu.RLock()
+		defer fs.mu.RUnlock()
+		n, _, _, err := fs.readLocked(path, off, buf)
+		return n, err
+	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	n, ino, in, err := fs.readLocked(path, off, buf)
+	if err != nil {
+		return n, err
+	}
+	// atime update, journaled like any metadata change (only when the
+	// file system is still writable).
+	if fs.health.State() == vfs.Healthy {
+		in.Atime = fs.now()
+		if serr := fs.storeInode(ino, in); serr == nil {
+			if cerr := fs.maybeCommit(); cerr != nil {
+				return n, cerr
+			}
+		}
+	}
+	return n, nil
+}
+
+// readLocked is the body of Read minus the atime update; the caller holds
+// fs.mu (shared or exclusive).
+func (fs *FS) readLocked(path string, off int64, buf []byte) (int, uint32, *inode, error) {
 	if err := fs.guardRead(); err != nil {
-		return 0, err
+		return 0, 0, nil, err
 	}
 	ino, in, err := fs.resolve(path, true)
 	if err != nil {
-		return 0, err
+		return 0, 0, nil, err
 	}
 	if in.isDir() {
-		return 0, vfs.ErrIsDir
+		return 0, 0, nil, vfs.ErrIsDir
 	}
 	if off < 0 {
-		return 0, vfs.ErrInval
+		return 0, 0, nil, vfs.ErrInval
 	}
 	size := int64(in.Size)
 	if off >= size {
-		return 0, nil
+		return 0, ino, in, nil
 	}
 	n := int64(len(buf))
 	if off+n > size {
@@ -347,7 +377,7 @@ func (fs *FS) Read(path string, off int64, buf []byte) (int, error) {
 		}
 		phys, err := fs.bmap(in, l, false)
 		if err != nil {
-			return int(read), err
+			return int(read), ino, in, err
 		}
 		if phys == 0 {
 			for i := int64(0); i < chunk; i++ {
@@ -356,24 +386,13 @@ func (fs *FS) Read(path string, off int64, buf []byte) (int, error) {
 		} else {
 			data, err := fs.readData(phys, BTData, in, l, prefetch)
 			if err != nil {
-				return int(read), err
+				return int(read), ino, in, err
 			}
 			copy(buf[read:read+chunk], data[bo:bo+chunk])
 		}
 		read += chunk
 	}
-
-	// atime update, journaled like any metadata change (only when the
-	// file system is still writable).
-	if fs.health.State() == vfs.Healthy {
-		in.Atime = fs.now()
-		if err := fs.storeInode(ino, in); err == nil {
-			if err := fs.maybeCommit(); err != nil {
-				return int(read), err
-			}
-		}
-	}
-	return int(read), nil
+	return int(read), ino, in, nil
 }
 
 // Write implements vfs.FileSystem.
@@ -768,17 +787,43 @@ func (fs *FS) Rename(oldpath, newpath string) error {
 	return fs.maybeCommit()
 }
 
-// Fsync implements vfs.FileSystem: commits the running transaction.
+// Fsync implements vfs.FileSystem: commits the running transaction if it
+// holds changes to the named file. When the file's state already reached
+// the journal — typically because another client's fsync committed the
+// shared running transaction moments ago — there is nothing left to make
+// durable and the call returns without a commit. That skip is what turns
+// concurrent fsync-heavy clients into a group commit: the first fsync in
+// a window pays for the batch, the rest ride along free.
 func (fs *FS) Fsync(path string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if err := fs.guardWrite(); err != nil {
 		return err
 	}
-	if _, _, err := fs.resolve(path, true); err != nil {
+	ino, _, err := fs.resolve(path, true)
+	if err != nil {
 		return err
 	}
-	return fs.commitLocked()
+	// Group commit. If the running transaction does not hold this inode,
+	// its state is durable or riding the in-flight commit — wait for that
+	// specific sequence, not for fs.committing to clear, so a stream of
+	// back-to-back commits from a busy client cannot starve this one. If
+	// the inode is in the running transaction while a commit is writing,
+	// wait and re-check: the next freeze usually carries it, making this
+	// fsync free.
+	for {
+		if !fs.tx.touched(ino) {
+			need := fs.seq
+			for fs.durableSeq < need {
+				fs.commitDone.Wait()
+			}
+			return fs.health.CheckWrite()
+		}
+		if !fs.committing {
+			return fs.commitLocked()
+		}
+		fs.commitDone.Wait()
+	}
 }
 
 // Chmod implements vfs.FileSystem.

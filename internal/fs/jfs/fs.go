@@ -25,6 +25,7 @@ type FS struct {
 	cache   *bcache.Cache
 	tx      *txn
 	mounted bool
+	noatime bool
 	seq     uint64
 	jhead   int64
 	timeCtr int64
@@ -38,6 +39,10 @@ func New(dev disk.Device, rec *iron.Recorder) *FS {
 	fs.cache.SetTracer(fs.tr)
 	return fs
 }
+
+// SetNoAtime suppresses the atime journal update on Read (the noatime
+// mount option). Set before Mount.
+func (fs *FS) SetNoAtime(on bool) { fs.noatime = on }
 
 // Health returns the current RStop state.
 func (fs *FS) Health() vfs.HealthState { return fs.health.State() }

@@ -210,7 +210,7 @@ func (fs *FS) Read(path string, off int64, buf []byte) (int, error) {
 		}
 		read += chunk
 	}
-	if fs.health.State() == vfs.Healthy {
+	if !fs.noatime && fs.health.State() == vfs.Healthy {
 		in.Atime = fs.now()
 		if err := fs.storeInode(ino, in); err == nil {
 			if cerr := fs.maybeCommit(); cerr != nil {

@@ -334,7 +334,7 @@ func (fs *FS) Read(path string, off int64, buf []byte) (int, error) {
 		}
 		read += chunk
 	}
-	if fs.health.State() == vfs.Healthy {
+	if !fs.noatime && fs.health.State() == vfs.Healthy {
 		r.Atime = fs.now()
 		if err := fs.storeRecord(rec, r); err == nil {
 			if cerr := fs.maybeCommit(); cerr != nil {

@@ -1,0 +1,216 @@
+package fs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ironfs/internal/disk"
+	"ironfs/internal/vfs"
+)
+
+func newDisk(t *testing.T) *disk.Disk {
+	t.Helper()
+	d, err := disk.New(4096, disk.DefaultGeometry(), disk.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNamesOrder(t *testing.T) {
+	want := []string{"ext3", "reiserfs", "jfs", "ntfs", "ixt3"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestUnknownName(t *testing.T) {
+	if _, err := Mount("xfs", nil, Options{}); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestValidation: each file system rejects options it does not support,
+// naming the offending field.
+func TestValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		ok   bool
+		bad  string
+	}{
+		{"ext3", Options{}, true, ""},
+		{"ext3", Options{FixBugs: true, NoBarrier: true, NoAtime: true, JournalBlocks: 64}, true, ""},
+		{"ext3", Options{Tc: true}, false, "tc"},
+		{"ext3", Options{Mc: true, Dp: true}, false, "mc"},
+		{"ixt3", Options{Mc: true, Dc: true, Mr: true, Dp: true, Tc: true}, true, ""},
+		{"ixt3", Options{NoAtime: true, BlocksPerGroup: 512}, true, ""},
+		{"ixt3", Options{NoBarrier: true}, false, "nobarrier"},
+		{"ixt3", Options{FixBugs: true}, false, "fixbugs"},
+		{"reiserfs", Options{}, true, ""},
+		{"reiserfs", Options{Mc: true}, false, "mc"},
+		{"reiserfs", Options{NoAtime: true}, true, ""},
+		{"jfs", Options{NoAtime: true}, true, ""},
+		{"jfs", Options{Tc: true}, false, "tc"},
+		{"ntfs", Options{NoAtime: true}, true, ""},
+		{"jfs", Options{JournalBlocks: 64}, false, "journal-blocks"},
+		{"ntfs", Options{FixBugs: true}, false, "fixbugs"},
+	}
+	for _, c := range cases {
+		err := Validate(c.name, c.opts)
+		if c.ok && err != nil {
+			t.Errorf("%s %+v: unexpected error %v", c.name, c.opts, err)
+		}
+		if !c.ok {
+			if err == nil {
+				t.Errorf("%s %+v: validation passed, want rejection", c.name, c.opts)
+			} else if !strings.Contains(err.Error(), c.bad) {
+				t.Errorf("%s: error %q does not name %q", c.name, err, c.bad)
+			}
+		}
+	}
+}
+
+// TestMountRoundTrip: every registered file system formats, mounts, does
+// real work, unmounts cleanly, and passes its own consistency oracle —
+// all through the registry, no per-FS code.
+func TestMountRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			d := newDisk(t)
+			if err := Mkfs(name, d, Options{}); err != nil {
+				t.Fatal(err)
+			}
+			fsys, err := Mount(name, d, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st, ok := Health(fsys); !ok || st != vfs.Healthy {
+				t.Fatalf("Health = %v, %v", st, ok)
+			}
+			if err := fsys.Mkdir("/d", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := fsys.Create("/d/f", 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fsys.Write("/d/f", 0, []byte("registry")); err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 8)
+			if n, err := fsys.Read("/d/f", 0, buf); err != nil || string(buf[:n]) != "registry" {
+				t.Fatalf("read back %q, %v", buf[:n], err)
+			}
+			if err := fsys.Unmount(); err != nil {
+				t.Fatal(err)
+			}
+			if err := Check(name, d, Options{}); err != nil {
+				t.Fatalf("oracle rejects clean image: %v", err)
+			}
+		})
+	}
+}
+
+// TestCheckerDetectsDamage: the unified oracle still reports structural
+// damage (scribble over the middle of the image) as inconsistent or
+// unexaminable, for every file system.
+func TestCheckerDetectsDamage(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			d := newDisk(t)
+			if err := Mkfs(name, d, Options{}); err != nil {
+				t.Fatal(err)
+			}
+			fsys, err := Mount(name, d, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 8; i++ {
+				p := "/f" + string(rune('a'+i))
+				if err := fsys.Create(p, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := fsys.Unmount(); err != nil {
+				t.Fatal(err)
+			}
+			// Zero the superblock: no oracle should call this consistent.
+			junk := make([]byte, d.BlockSize())
+			if err := d.WriteBlock(0, junk); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.WriteBlock(1, junk); err != nil {
+				t.Fatal(err)
+			}
+			if err := Check(name, d, Options{}); err == nil {
+				t.Fatal("oracle accepted a zeroed superblock")
+			}
+		})
+	}
+}
+
+// TestCheckerShape: NewChecker returns a reusable oracle value.
+func TestCheckerShape(t *testing.T) {
+	c, err := NewChecker("ext3", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newDisk(t)
+	if err := Mkfs("ext3", d, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	fsys, err := Mount("ext3", d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Check(d); err != nil {
+		t.Fatal(err)
+	}
+	var _ Checker = c
+}
+
+// TestIxt3ImpliesFixBugs: an ixt3 mount repairs ext3's silent-failure
+// bugs even when only a subset of features is requested.
+func TestIxt3ImpliesFixBugs(t *testing.T) {
+	d := newDisk(t)
+	if err := Mkfs("ixt3", d, Options{Tc: true}); err != nil {
+		t.Fatal(err)
+	}
+	fsys, err := Mount("ixt3", d, Options{Tc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fsys.Unmount()
+	// Unlink of a missing path must NOT be silently swallowed.
+	if err := fsys.Unlink("/missing"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("Unlink(missing) = %v", err)
+	}
+}
+
+// TestResolverAndBlockTypes: the gray-box accessors answer for every name.
+func TestResolverAndBlockTypes(t *testing.T) {
+	for _, name := range Names() {
+		bts, err := BlockTypes(name)
+		if err != nil || len(bts) == 0 {
+			t.Fatalf("%s: BlockTypes = %v, %v", name, bts, err)
+		}
+		d := newDisk(t)
+		if err := Mkfs(name, d, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewResolver(name, d)
+		if err != nil || r == nil {
+			t.Fatalf("%s: NewResolver = %v, %v", name, r, err)
+		}
+	}
+}

@@ -327,7 +327,7 @@ func (fs *FS) Read(path string, off int64, buf []byte) (int, error) {
 		}
 		read += chunk
 	}
-	if fs.health.State() == vfs.Healthy {
+	if !fs.noatime && fs.health.State() == vfs.Healthy {
 		sd.Atime = fs.now()
 		if err := fs.putStat(ref, sd); err == nil {
 			if cerr := fs.maybeCommit(); cerr != nil {

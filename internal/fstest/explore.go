@@ -9,6 +9,7 @@ import (
 	"ironfs/internal/disk"
 	"ironfs/internal/faultinject"
 	"ironfs/internal/iron"
+	"ironfs/internal/sched"
 	"ironfs/internal/trace"
 	"ironfs/internal/vfs"
 )
@@ -93,6 +94,13 @@ type ExploreConfig struct {
 	Policy faultinject.EnumPolicy
 	// Workers sets the worker-goroutine count (default GOMAXPROCS, max 8).
 	Workers int
+	// QueueDepth inserts the I/O scheduler between the file system and
+	// the write cache during the workload phase, with the given queue
+	// depth. Depth ≤ 1 (the default) is a strict passthrough — the logged
+	// write stream, and therefore the whole crash matrix, is byte-for-byte
+	// what it was before the scheduler existed. Depths > 1 let the
+	// exploration ask what write-behind queueing does to crash consistency.
+	QueueDepth int
 	// Trace attaches an evidence trace to every graded crash state (the
 	// recovery mount and oracle scan, with detections bridged in) and the
 	// full workload trace to the result. Off by default: per-state traces
@@ -202,7 +210,10 @@ func Explore(t ExploreTarget, w ExploreWorkload, cfg ExploreConfig) (*ExploreRes
 	cache := faultinject.NewCacheDevice(base)
 	rec := iron.NewRecorder()
 	wtr.BridgeRecorder(rec)
-	fs := t.New(cache, rec)
+	// The scheduler sits above the write cache so a drain delivers its
+	// batch into the open epoch exactly as direct writes would; at the
+	// default depth 1 it is a strict passthrough.
+	fs := t.New(sched.New(cache, sched.Config{QueueDepth: cfg.QueueDepth}), rec)
 	wtr.Mark(fmt.Sprintf("explore fs=%s workload=%s", t.Name, w.Name))
 	if err := fs.Mount(); err != nil {
 		return nil, fmt.Errorf("%s mount: %w", t.Name, err)

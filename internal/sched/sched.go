@@ -1,0 +1,310 @@
+// Package sched provides a queued, batching I/O scheduler that sits
+// between a file system and the simulated disk.
+//
+// The disk's mechanical service model (seek ∝ √distance, rotational
+// position, per-command overhead) prices I/O *patterns*: scattered
+// synchronous writes pay a full seek and command overhead each, while a
+// sorted batch of adjacent blocks streams at media rate under one command.
+// Driving the disk one synchronous request at a time therefore leaves the
+// modeled hardware mostly idle. The scheduler closes that gap the way a
+// real block layer does: writes are accepted into a bounded queue and
+// acknowledged immediately (write-behind), the queue absorbs rewrites of
+// the same block (last-wins), and when the queue fills — or a barrier,
+// close, or conflicting read forces the issue — the queue is drained in
+// C-LOOK elevator order from the current head position, with runs of
+// adjacent blocks coalesced into single WriteBatch commands.
+//
+// Ordering semantics are preserved where they matter: a Barrier drains the
+// queue before it reaches the device, so everything written before the
+// barrier is on disk (or in the volatile write cache being modeled above
+// the disk) before anything after it — exactly the contract journaling
+// file systems and the ironcrash harness rely on. At QueueDepth ≤ 1 the
+// scheduler is a strict passthrough: every operation is forwarded
+// unmodified and no trace events are emitted, so existing harness output
+// (crash matrices, trace goldens) is byte-identical with the scheduler in
+// the stack.
+//
+// Fault injection composes underneath: the scheduler only reorders and
+// batches; every block still reaches the wrapped device through ReadBlock
+// or WriteBatch, where per-block faults fire as usual. The one visible
+// write-behind consequence is error timing — a queued write's fault
+// surfaces at the flush that dispatches it (the triggering write, barrier,
+// read, or close reports it), mirroring how real write-back caches defer
+// errors to fsync.
+package sched
+
+import (
+	"sync"
+
+	"ironfs/internal/disk"
+	"ironfs/internal/trace"
+)
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	// QueueDepth is the maximum number of queued writes before the
+	// scheduler drains. Depth ≤ 1 makes the scheduler a strict
+	// passthrough (no queueing, no reordering, no trace events).
+	QueueDepth int
+}
+
+// Stats counts scheduler activity. All fields are exact (updated under the
+// scheduler's lock).
+type Stats struct {
+	// Enqueued counts writes accepted into the queue; Absorbed the subset
+	// that overwrote an already-queued block (last-wins, so the earlier
+	// version never reached the disk).
+	Enqueued, Absorbed int64
+	// Dispatched counts writes handed to the device; Batches the WriteBatch
+	// commands they left in; Coalesced the writes that shared a batch with
+	// at least one adjacent neighbor.
+	Dispatched, Batches, Coalesced int64
+	// Drains counts queue flushes; ReadFlushes the subset forced by a read
+	// of a queued block (read-your-writes through the device, so fault
+	// injection still sees the read).
+	Drains, ReadFlushes int64
+	// MaxQueue is the deepest queue observed.
+	MaxQueue int
+}
+
+// Scheduler implements disk.Device over an inner device, adding a
+// write-behind queue with C-LOOK dispatch and adjacent-block coalescing.
+// It is safe for concurrent use; concurrent clients' requests interleave
+// in the queue and drain together.
+type Scheduler struct {
+	inner disk.Device
+	depth int
+	tr    *trace.Tracer
+
+	mu    sync.Mutex
+	queue map[int64][]byte
+	head  int64
+	stats Stats
+}
+
+var _ disk.Device = (*Scheduler)(nil)
+
+// New wraps inner with a scheduler configured by cfg. The run's tracer is
+// discovered from the inner device (trace.Of), so the scheduler's events
+// land in the same evidence trace as the I/O it batches.
+func New(inner disk.Device, cfg Config) *Scheduler {
+	depth := cfg.QueueDepth
+	if depth < 1 {
+		depth = 1
+	}
+	return &Scheduler{
+		inner: inner,
+		depth: depth,
+		tr:    trace.Of(inner),
+		queue: make(map[int64][]byte),
+	}
+}
+
+// Tracer implements trace.Provider so layers mounted on the scheduler
+// discover the run's tracer through it.
+func (s *Scheduler) Tracer() *trace.Tracer { return s.tr }
+
+// QueueDepth returns the configured drain threshold.
+func (s *Scheduler) QueueDepth() int { return s.depth }
+
+// Stats returns a snapshot of the scheduler's counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// BlockSize returns the inner device's block size.
+func (s *Scheduler) BlockSize() int { return s.inner.BlockSize() }
+
+// NumBlocks returns the inner device's capacity.
+func (s *Scheduler) NumBlocks() int64 { return s.inner.NumBlocks() }
+
+// ReadBlock reads block n. A read of a queued block first drains the queue
+// so the read is served by the device — never from the queue — keeping
+// read-path fault injection intact; reads of unqueued blocks pass straight
+// through.
+func (s *Scheduler) ReadBlock(n int64, buf []byte) error {
+	if s.depth > 1 {
+		s.mu.Lock()
+		if _, queued := s.queue[n]; queued {
+			s.stats.ReadFlushes++
+			err := s.flushLocked("read")
+			s.mu.Unlock()
+			if err != nil {
+				return err
+			}
+		} else {
+			s.mu.Unlock()
+		}
+	}
+	return s.inner.ReadBlock(n, buf)
+}
+
+// WriteBlock queues one block write and returns immediately; the write
+// reaches the device at the next drain. When the queue hits QueueDepth the
+// triggering write drains it and reports any dispatch error. At depth 1
+// the write is forwarded synchronously.
+func (s *Scheduler) WriteBlock(n int64, buf []byte) error {
+	if s.depth <= 1 {
+		return s.inner.WriteBlock(n, buf)
+	}
+	if len(buf) != s.inner.BlockSize() {
+		return disk.ErrBadSize
+	}
+	if n < 0 || n >= s.inner.NumBlocks() {
+		return disk.ErrOutOfRange
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.enqueueLocked(n, buf)
+	if len(s.queue) >= s.depth {
+		return s.flushLocked("depth")
+	}
+	return nil
+}
+
+// WriteBatch queues every request in the batch (preserving the queue's
+// last-wins absorption against earlier writes to the same blocks), then
+// drains if the queue is at depth. At depth 1 the batch is forwarded
+// unmodified.
+func (s *Scheduler) WriteBatch(reqs []disk.Request) error {
+	if s.depth <= 1 {
+		return s.inner.WriteBatch(reqs)
+	}
+	for _, r := range reqs {
+		if len(r.Data) != s.inner.BlockSize() {
+			return disk.ErrBadSize
+		}
+		if r.Block < 0 || r.Block >= s.inner.NumBlocks() {
+			return disk.ErrOutOfRange
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range reqs {
+		s.enqueueLocked(r.Block, r.Data)
+	}
+	if len(s.queue) >= s.depth {
+		return s.flushLocked("depth")
+	}
+	return nil
+}
+
+// Barrier drains the queue and forwards the barrier, so every write
+// accepted before the barrier is on the device before anything after it.
+// Queued writes are never reordered across a barrier.
+func (s *Scheduler) Barrier() error {
+	if s.depth <= 1 {
+		return s.inner.Barrier()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.flushLocked("barrier"); err != nil {
+		return err
+	}
+	return s.inner.Barrier()
+}
+
+// Close drains the queue and closes the inner device.
+func (s *Scheduler) Close() error {
+	if s.depth <= 1 {
+		return s.inner.Close()
+	}
+	s.mu.Lock()
+	err := s.flushLocked("close")
+	s.mu.Unlock()
+	if cerr := s.inner.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// enqueueLocked inserts one write, copying the data (callers reuse their
+// buffers after WriteBlock returns). Caller holds s.mu.
+func (s *Scheduler) enqueueLocked(n int64, buf []byte) {
+	if _, ok := s.queue[n]; ok {
+		s.stats.Absorbed++
+	}
+	s.queue[n] = append([]byte(nil), buf...)
+	s.stats.Enqueued++
+	if len(s.queue) > s.stats.MaxQueue {
+		s.stats.MaxQueue = len(s.queue)
+	}
+	s.tr.Sched(trace.KindEnqueue, n, len(s.queue), "")
+}
+
+// flushLocked drains the queue in C-LOOK order: ascending from the head
+// position to the end, then wrapping to the lowest queued block. Runs of
+// adjacent blocks are coalesced into single WriteBatch commands. On a
+// dispatch error the remaining (undispatched) writes stay queued and the
+// error is returned to the operation that forced the drain. Caller holds
+// s.mu.
+//
+// The inner device calls below run with s.mu held on purpose: the drain
+// must be atomic with respect to concurrent enqueues and barriers — a
+// write slipping in mid-drain could be reordered across a barrier that had
+// already begun. The inner simulated disk serializes internally anyway, so
+// the held lock costs no parallelism.
+func (s *Scheduler) flushLocked(reason string) error {
+	n := len(s.queue)
+	if n == 0 {
+		return nil
+	}
+	blocks := make([]int64, 0, n)
+	for b := range s.queue {
+		blocks = append(blocks, b)
+	}
+	sortBlocks(blocks)
+	// C-LOOK: rotate so dispatch starts at the first block >= head.
+	start := 0
+	for start < len(blocks) && blocks[start] < s.head {
+		start++
+	}
+	order := make([]int64, 0, n)
+	order = append(order, blocks[start:]...)
+	order = append(order, blocks[:start]...)
+
+	dispatched := 0
+	for i := 0; i < len(order); {
+		j := i + 1
+		for j < len(order) && order[j] == order[j-1]+1 {
+			j++
+		}
+		run := order[i:j]
+		reqs := make([]disk.Request, len(run))
+		for k, b := range run {
+			reqs[k] = disk.Request{Block: b, Data: s.queue[b]}
+		}
+		if len(run) > 1 {
+			s.stats.Coalesced += int64(len(run))
+			s.tr.Sched(trace.KindCoalesce, run[0], len(run), "")
+		}
+		if err := s.inner.WriteBatch(reqs); err != nil {
+			s.tr.Sched(trace.KindDrain, trace.NoBlock, dispatched, reason+"-error")
+			return err
+		}
+		for _, b := range run {
+			delete(s.queue, b)
+		}
+		s.stats.Dispatched += int64(len(run))
+		s.stats.Batches++
+		s.tr.Sched(trace.KindDispatch, run[0], len(run), "")
+		dispatched += len(run)
+		s.head = run[len(run)-1] + 1
+		i = j
+	}
+	s.stats.Drains++
+	s.tr.Sched(trace.KindDrain, trace.NoBlock, dispatched, reason)
+	return nil
+}
+
+// sortBlocks sorts ascending (insertion sort: queues are small and often
+// nearly sorted already).
+func sortBlocks(b []int64) {
+	for i := 1; i < len(b); i++ {
+		for j := i; j > 0 && b[j] < b[j-1]; j-- {
+			b[j], b[j-1] = b[j-1], b[j]
+		}
+	}
+}

@@ -86,6 +86,11 @@ type Summary struct {
 	Epochs, MaxDepth           int
 	// BufHits/BufMisses/BufEvicts count buffer-cache events.
 	BufHits, BufMisses, BufEvicts int
+	// SchedEnqueues/SchedCoalesces/SchedDispatches/SchedDrains count I/O
+	// scheduler events; SchedMaxQueue is the deepest write queue observed
+	// and SchedBatched the total writes that left in coalesced runs.
+	SchedEnqueues, SchedCoalesces, SchedDispatches, SchedDrains int
+	SchedMaxQueue, SchedBatched                                 int
 	// Detects/Recovers/Phases count file-system semantic events, Marks
 	// the harness segment boundaries.
 	Detects, Recovers, Phases, Marks int
@@ -166,6 +171,21 @@ func Summarize(events []Event) *Summary {
 			case KindEvict:
 				s.BufEvicts++
 			}
+		case LayerSched:
+			switch e.Kind {
+			case KindEnqueue:
+				s.SchedEnqueues++
+				if e.Depth > s.SchedMaxQueue {
+					s.SchedMaxQueue = e.Depth
+				}
+			case KindCoalesce:
+				s.SchedCoalesces++
+				s.SchedBatched += e.Depth
+			case KindDispatch:
+				s.SchedDispatches++
+			case KindDrain:
+				s.SchedDrains++
+			}
 		case LayerFS:
 			switch e.Kind {
 			case KindDetect:
@@ -201,6 +221,10 @@ func (s *Summary) Render() string {
 	fmt.Fprintf(&b, "cache: writes=%d barriers=%d epochs=%d maxdepth=%d\n",
 		s.CacheWrites, s.CacheBarriers, s.Epochs, s.MaxDepth)
 	fmt.Fprintf(&b, "bcache: hits=%d misses=%d evicts=%d\n", s.BufHits, s.BufMisses, s.BufEvicts)
+	if s.SchedEnqueues+s.SchedDispatches+s.SchedDrains > 0 {
+		fmt.Fprintf(&b, "sched: enqueues=%d coalesces=%d dispatches=%d drains=%d maxqueue=%d batched=%d\n",
+			s.SchedEnqueues, s.SchedCoalesces, s.SchedDispatches, s.SchedDrains, s.SchedMaxQueue, s.SchedBatched)
+	}
 	fmt.Fprintf(&b, "fs: detects=%d recovers=%d phases=%d\n", s.Detects, s.Recovers, s.Phases)
 
 	if len(s.Faults) > 0 {
@@ -262,6 +286,12 @@ func Diff(a, b *Summary) string {
 	add("bcache-hits", int64(a.BufHits), int64(b.BufHits))
 	add("bcache-misses", int64(a.BufMisses), int64(b.BufMisses))
 	add("bcache-evicts", int64(a.BufEvicts), int64(b.BufEvicts))
+	add("sched-enqueues", int64(a.SchedEnqueues), int64(b.SchedEnqueues))
+	add("sched-coalesces", int64(a.SchedCoalesces), int64(b.SchedCoalesces))
+	add("sched-dispatches", int64(a.SchedDispatches), int64(b.SchedDispatches))
+	add("sched-drains", int64(a.SchedDrains), int64(b.SchedDrains))
+	add("sched-maxqueue", int64(a.SchedMaxQueue), int64(b.SchedMaxQueue))
+	add("sched-batched", int64(a.SchedBatched), int64(b.SchedBatched))
 	add("fs-detects", int64(a.Detects), int64(b.Detects))
 	add("fs-recovers", int64(a.Recovers), int64(b.Recovers))
 	add("fs-phases", int64(a.Phases), int64(b.Phases))

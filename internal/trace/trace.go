@@ -33,6 +33,9 @@ const (
 	// LayerCache is the volatile write cache (faultinject.CacheDevice):
 	// epoch-stamped absorbed writes and barrier seals.
 	LayerCache = "cache"
+	// LayerSched is the I/O scheduler (sched.Scheduler): enqueued writes,
+	// coalesced runs, elevator dispatches, and queue drains.
+	LayerSched = "sched"
 	// LayerBuf is the in-memory buffer cache (bcache): hits, misses,
 	// evictions.
 	LayerBuf = "bcache"
@@ -55,9 +58,16 @@ const (
 	KindMiss    = "miss"
 	KindEvict   = "evict"
 	KindPhase   = "phase"
-	KindDetect  = "detect"
-	KindRecover = "recover"
-	KindMark    = "mark"
+	// Scheduler kinds: a write accepted into the queue, a run of adjacent
+	// blocks coalesced into one batch, that batch dispatched to the disk,
+	// and a full drain of the queue (barrier or close).
+	KindEnqueue  = "enqueue"
+	KindCoalesce = "coalesce"
+	KindDispatch = "dispatch"
+	KindDrain    = "drain"
+	KindDetect   = "detect"
+	KindRecover  = "recover"
+	KindMark     = "mark"
 )
 
 // NoBlock is the Event.Block value for events that are not addressed to a
@@ -231,6 +241,19 @@ func (t *Tracer) CacheWrite(block int64, epoch, depth int) {
 		return
 	}
 	t.emitNow(Event{Layer: LayerCache, Kind: KindWrite, Block: block, Epoch: epoch, Depth: depth})
+}
+
+// Sched records a scheduler event: KindEnqueue for a write accepted into
+// the queue (depth = queued writes after it), KindCoalesce for a run of
+// adjacent blocks folded into one batch (block = run start, depth = run
+// length), KindDispatch for a batch handed to the disk (depth = batch
+// size), and KindDrain for a full queue flush (depth = writes drained,
+// detail = the reason: "barrier", "depth", "close", "read").
+func (t *Tracer) Sched(kind string, block int64, depth int, detail string) {
+	if t == nil {
+		return
+	}
+	t.emitNow(Event{Layer: LayerSched, Kind: kind, Block: block, Depth: depth, Detail: detail})
 }
 
 // Buffer records a buffer-cache event: KindHit, KindMiss, or KindEvict.

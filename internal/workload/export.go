@@ -71,8 +71,64 @@ func (r SpaceReport) JSON() SpaceJSON {
 	}
 }
 
+// MultiClientRunJSON is one multi-client measurement (one configuration of
+// one file system on one workload).
+type MultiClientRunJSON struct {
+	Clients    int `json:"clients"`
+	QueueDepth int `json:"queue_depth"`
+	// Ops is the total client operations completed.
+	Ops int `json:"ops"`
+	// SimTimeNs is the measured phase's simulated duration.
+	SimTimeNs int64 `json:"sim_time_ns"`
+	// OpsPerSec is Ops per simulated second.
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// MeanLatencyNs is the mean per-op latency (queueing included).
+	MeanLatencyNs int64 `json:"mean_latency_ns"`
+	// Latency is the log2-bucket latency histogram, rendered.
+	Latency string `json:"latency"`
+}
+
+// MultiClientRowJSON is one (fs, workload) comparison: serial baseline
+// against the concurrent configuration.
+type MultiClientRowJSON struct {
+	FS       string `json:"fs"`
+	Workload string `json:"workload"`
+	// Baseline is one client at queue depth 1 — the serial stack.
+	Baseline MultiClientRunJSON `json:"baseline"`
+	// Concurrent is N clients over the queued scheduler.
+	Concurrent MultiClientRunJSON `json:"concurrent"`
+	// Speedup is concurrent over baseline throughput. Unlike the Table 6
+	// numbers this is not bit-deterministic (goroutine interleaving moves
+	// it a little run to run), so snapshots pin a wide margin, not an
+	// exact value.
+	Speedup float64 `json:"speedup"`
+}
+
+func runJSON(r MultiClientReport) MultiClientRunJSON {
+	out := MultiClientRunJSON{
+		Clients: r.Clients, QueueDepth: r.QueueDepth,
+		Ops: r.Ops, SimTimeNs: int64(r.SimTime), OpsPerSec: r.OpsPerSec,
+		Latency: r.Lat.String(),
+	}
+	if r.Lat.Count > 0 {
+		out.MeanLatencyNs = r.Lat.TotalNs / int64(r.Lat.Count)
+	}
+	return out
+}
+
+// JSON converts one comparison row for serialization.
+func (r MultiClientRow) JSON() MultiClientRowJSON {
+	return MultiClientRowJSON{
+		FS: r.Concurrent.FS, Workload: r.Concurrent.Workload,
+		Baseline:   runJSON(r.Baseline),
+		Concurrent: runJSON(r.Concurrent),
+		Speedup:    r.Speedup(),
+	}
+}
+
 // BenchJSON is ironbench -json's top-level document.
 type BenchJSON struct {
-	Table6 *Table6JSON `json:"table6,omitempty"`
-	Space  []SpaceJSON `json:"space,omitempty"`
+	Table6      *Table6JSON          `json:"table6,omitempty"`
+	Space       []SpaceJSON          `json:"space,omitempty"`
+	MultiClient []MultiClientRowJSON `json:"multi_client,omitempty"`
 }

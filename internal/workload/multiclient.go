@@ -1,0 +1,397 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+
+	"ironfs/internal/disk"
+	"ironfs/internal/fs"
+	"ironfs/internal/sched"
+	"ironfs/internal/trace"
+	"ironfs/internal/vfs"
+)
+
+// Multi-client mode: N goroutine clients hammer one mounted file system
+// concurrently, with the queued I/O scheduler between the file system and
+// the simulated disk. Throughput (ops per simulated second) and per-op
+// latency come from the shared simulated clock; the comparison runner pits
+// the concurrent configuration against a single client at queue depth 1 —
+// the serial pre-scheduler stack — so the speedup is measured, not assumed.
+//
+// Two workloads stress the two halves of the win:
+//
+//	seqread     a shared document set read repeatedly by every client.
+//	            After the first pass the set is resident in the sharded
+//	            buffer cache, so throughput scales with lock parallelism:
+//	            ext3/ixt3 mount with NoAtime so Read takes the shared
+//	            (read) lock and clients proceed in parallel.
+//	createheavy each client creates and writes files in its own directory
+//	            with periodic fsyncs. The win here is the scheduler:
+//	            checkpoint writes from many clients coalesce into few
+//	            large sorted batches, amortizing per-command overhead.
+//
+// Unlike the Table 6 sweep, multi-client results are not bit-deterministic:
+// goroutine interleaving affects which client's I/O lands first, so
+// simulated times wobble a little from run to run. The committed snapshot
+// (BENCH_1.json) therefore records a speedup with a wide margin (≥2×), not
+// an exact time.
+
+// Multi-client workload names.
+const (
+	SeqRead     = "seqread"
+	CreateHeavy = "createheavy"
+)
+
+// MultiClientWorkloads lists the available workload names.
+func MultiClientWorkloads() []string { return []string{SeqRead, CreateHeavy} }
+
+// Tunables: small enough to keep the suite fast, large enough that the
+// document set spans many cache shards and every client does real work.
+const (
+	mcDocFiles       = 16       // seqread: shared documents
+	mcDocSize        = 64 << 10 // seqread: bytes per document
+	mcReadChunk      = 4 << 10  // seqread: bytes per Read call (one op)
+	mcReadPasses     = 3        // seqread: passes over the set per client
+	mcFilesPerClient = 64       // createheavy: files each client creates
+	mcWriteSize      = 4 << 10  // createheavy: bytes written per file
+	mcFsyncEvery     = 1        // createheavy: fsync cadence
+	mcLiveWindow     = 8        // createheavy: live files kept per client
+)
+
+// Per-op CPU charges, in line with the Table 6 generators' magnitudes.
+// CPU accrues on the owning client's virtual timeline — clients model
+// processes on separate cores, so their CPU overlaps — while disk service
+// time accrues on the shared simulated clock, because the single disk arm
+// is the serialized resource. A run's elapsed time is the slowest client's
+// timeline; for one client that degenerates to the exact serial sum.
+const (
+	mcReadCPU   = 50 * disk.Microsecond
+	mcMutateCPU = 100 * disk.Microsecond
+)
+
+// MultiClientConfig selects one multi-client run.
+type MultiClientConfig struct {
+	// FS is the registry name of the file system under test.
+	FS string
+	// Workload is SeqRead or CreateHeavy.
+	Workload string
+	// Clients is the number of concurrent client goroutines (min 1).
+	Clients int
+	// QueueDepth is the scheduler's queue depth; values ≤ 1 mean the
+	// scheduler passes every operation straight through (the serial
+	// baseline stack).
+	QueueDepth int
+}
+
+// MultiClientReport is the result of one multi-client run.
+type MultiClientReport struct {
+	FS         string
+	Workload   string
+	Clients    int
+	QueueDepth int
+	// Ops is the total client operations completed (each Read, Create,
+	// Write, and Fsync call counts as one).
+	Ops int
+	// SimTime is the simulated time the measured phase took.
+	SimTime disk.Duration
+	// OpsPerSec is Ops divided by SimTime in seconds.
+	OpsPerSec float64
+	// Lat is the per-op latency distribution, measured as the simulated
+	// clock delta around each client call. Under concurrency a client's
+	// delta includes time other clients spent on the disk arm — that is
+	// queueing latency, and it is the honest number.
+	Lat trace.Histogram
+	// Sched is the scheduler's counters for the run (zero at depth ≤ 1).
+	Sched sched.Stats
+}
+
+// mcOptions picks mount options for the named file system: NoAtime where
+// the registry supports it (ext3/ixt3), so reads run under the shared
+// lock; Tc on ixt3, whose transactional checksums remove the commit
+// ordering barrier — the configuration where a deep scheduler queue
+// actually survives an fsync-heavy workload.
+func mcOptions(name string) fs.Options {
+	o := fs.Options{NoAtime: true}
+	if name == "ixt3" {
+		o.Tc = true
+	}
+	if fs.Validate(name, o) != nil {
+		return fs.Options{}
+	}
+	return o
+}
+
+// mcClient tracks one client's contribution.
+type mcClient struct {
+	ops int
+	lat trace.Histogram
+	// vt is the client's virtual timeline: the simulated instant this
+	// client finishes digesting its latest op. It never falls behind the
+	// shared clock (a client blocked on the disk or the FS lock is not
+	// computing), and per-op CPU accrues here rather than on the shared
+	// clock so separate clients' CPU overlaps like separate cores do.
+	vt disk.Duration
+}
+
+// op runs one client operation: the call itself advances the shared clock
+// by whatever disk service it causes; cpu then accrues on the client's own
+// timeline. Per-op latency is the sum of the two — under concurrency the
+// disk part includes waiting out other clients' I/O, which is queueing
+// delay and belongs in the number.
+func (c *mcClient) op(clk *disk.Clock, cpu disk.Duration, f func() error) error {
+	start := clk.Now()
+	if err := f(); err != nil {
+		return err
+	}
+	now := clk.Now()
+	if c.vt < now {
+		c.vt = now
+	}
+	c.vt += cpu
+	c.lat.Add(int64(now-start) + int64(cpu))
+	c.ops++
+	return nil
+}
+
+// RunMultiClient executes one multi-client configuration on a fresh disk.
+func RunMultiClient(cfg MultiClientConfig) (MultiClientReport, error) {
+	if cfg.Clients < 1 {
+		cfg.Clients = 1
+	}
+	clk := disk.NewClock()
+	d, err := disk.New(benchDiskBlocks, disk.DefaultGeometry(), clk)
+	if err != nil {
+		return MultiClientReport{}, err
+	}
+	opts := mcOptions(cfg.FS)
+	if err := fs.Mkfs(cfg.FS, d, opts); err != nil {
+		return MultiClientReport{}, fmt.Errorf("multiclient %s: mkfs: %w", cfg.FS, err)
+	}
+	sc := sched.New(d, sched.Config{QueueDepth: cfg.QueueDepth})
+	fsys, err := fs.Mount(cfg.FS, sc, opts)
+	if err != nil {
+		return MultiClientReport{}, fmt.Errorf("multiclient %s: mount: %w", cfg.FS, err)
+	}
+
+	var run func(fsys vfs.FileSystem, clk *disk.Clock, clients []*mcClient) error
+	switch cfg.Workload {
+	case SeqRead:
+		if err := mcPopulateDocs(fsys); err != nil {
+			return MultiClientReport{}, fmt.Errorf("multiclient %s: populate: %w", cfg.FS, err)
+		}
+		run = mcRunSeqRead
+	case CreateHeavy:
+		run = mcRunCreateHeavy
+	default:
+		return MultiClientReport{}, fmt.Errorf("multiclient: unknown workload %q", cfg.Workload)
+	}
+
+	clients := make([]*mcClient, cfg.Clients)
+	for i := range clients {
+		clients[i] = &mcClient{}
+	}
+	start := clk.Now()
+	if err := run(fsys, clk, clients); err != nil {
+		return MultiClientReport{}, fmt.Errorf("multiclient %s/%s: %w", cfg.FS, cfg.Workload, err)
+	}
+	// The measured phase ends once all dirty state is on the platter —
+	// queued scheduler writes included — so a deep queue cannot win by
+	// leaving work undone.
+	if err := fsys.Sync(); err != nil {
+		return MultiClientReport{}, fmt.Errorf("multiclient %s/%s: sync: %w", cfg.FS, cfg.Workload, err)
+	}
+	if err := sc.Barrier(); err != nil {
+		return MultiClientReport{}, fmt.Errorf("multiclient %s/%s: drain: %w", cfg.FS, cfg.Workload, err)
+	}
+	// The run ends when the last client's timeline does — or at the
+	// shared clock if the final flush pushed the disk past every client.
+	end := clk.Now()
+	for _, c := range clients {
+		if c.vt > end {
+			end = c.vt
+		}
+	}
+	elapsed := end - start
+
+	rep := MultiClientReport{
+		FS: cfg.FS, Workload: cfg.Workload,
+		Clients: cfg.Clients, QueueDepth: cfg.QueueDepth,
+		SimTime: elapsed, Sched: sc.Stats(),
+	}
+	for _, c := range clients {
+		rep.Ops += c.ops
+		for i, n := range c.lat.Buckets {
+			rep.Lat.Buckets[i] += n
+		}
+		rep.Lat.Count += c.lat.Count
+		rep.Lat.TotalNs += c.lat.TotalNs
+	}
+	if elapsed > 0 {
+		rep.OpsPerSec = float64(rep.Ops) / elapsed.Seconds()
+	}
+	if err := fsys.Unmount(); err != nil {
+		return MultiClientReport{}, fmt.Errorf("multiclient %s/%s: unmount: %w", cfg.FS, cfg.Workload, err)
+	}
+	return rep, nil
+}
+
+// mcDocPath names the i'th shared document.
+func mcDocPath(i int) string { return fmt.Sprintf("/docs/doc%02d", i) }
+
+// mcPopulateDocs writes the shared document set (untimed setup).
+func mcPopulateDocs(fsys vfs.FileSystem) error {
+	if err := fsys.Mkdir("/docs", 0o755); err != nil {
+		return err
+	}
+	buf := make([]byte, 16<<10)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	for i := 0; i < mcDocFiles; i++ {
+		p := mcDocPath(i)
+		if err := fsys.Create(p, 0o644); err != nil {
+			return err
+		}
+		for off := 0; off < mcDocSize; off += len(buf) {
+			if _, err := fsys.Write(p, int64(off), buf); err != nil {
+				return err
+			}
+		}
+	}
+	return fsys.Sync()
+}
+
+// mcParallel runs one body per client and returns the first error.
+func mcParallel(clients []*mcClient, body func(id int, c *mcClient) error) error {
+	errs := make(chan error, len(clients))
+	var wg sync.WaitGroup
+	for id, c := range clients {
+		wg.Add(1)
+		go func(id int, c *mcClient) {
+			defer wg.Done()
+			errs <- body(id, c)
+		}(id, c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mcRunSeqRead: every client makes mcReadPasses sequential passes over the
+// shared document set, one Read call (== one op) per mcReadChunk bytes.
+// Clients start at staggered documents so the first pass does not convoy
+// on one file.
+func mcRunSeqRead(fsys vfs.FileSystem, clk *disk.Clock, clients []*mcClient) error {
+	return mcParallel(clients, func(id int, c *mcClient) error {
+		buf := make([]byte, mcReadChunk)
+		for pass := 0; pass < mcReadPasses; pass++ {
+			for f := 0; f < mcDocFiles; f++ {
+				p := mcDocPath((f + id) % mcDocFiles)
+				for off := 0; off < mcDocSize; off += mcReadChunk {
+					err := c.op(clk, mcReadCPU, func() error {
+						_, rerr := fsys.Read(p, int64(off), buf)
+						return rerr
+					})
+					if err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// mcRunCreateHeavy: each client churns files in its own directory —
+// create, write, a periodic fsync, and an unlink once the file falls out
+// of a small sliding window, each call one op. The window bounds live
+// files per client, so the workload fits any client count on every file
+// system (NTFS's fixed MFT holds 256 records total).
+func mcRunCreateHeavy(fsys vfs.FileSystem, clk *disk.Clock, clients []*mcClient) error {
+	data := make([]byte, mcWriteSize)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	return mcParallel(clients, func(id int, c *mcClient) error {
+		dir := fmt.Sprintf("/c%02d", id)
+		if err := c.op(clk, mcMutateCPU, func() error { return fsys.Mkdir(dir, 0o755) }); err != nil {
+			return err
+		}
+		for i := 0; i < mcFilesPerClient; i++ {
+			p := fmt.Sprintf("%s/f%03d", dir, i)
+			if err := c.op(clk, mcMutateCPU, func() error { return fsys.Create(p, 0o644) }); err != nil {
+				return err
+			}
+			err := c.op(clk, mcMutateCPU, func() error {
+				_, werr := fsys.Write(p, 0, data)
+				return werr
+			})
+			if err != nil {
+				return err
+			}
+			if (i+1)%mcFsyncEvery == 0 {
+				if err := c.op(clk, mcMutateCPU, func() error { return fsys.Fsync(p) }); err != nil {
+					return err
+				}
+			}
+			if i >= mcLiveWindow {
+				old := fmt.Sprintf("%s/f%03d", dir, i-mcLiveWindow)
+				if err := c.op(clk, mcMutateCPU, func() error { return fsys.Unlink(old) }); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// MultiClientRow is one (fs, workload) comparison: the serial baseline
+// (one client, queue depth 1) against the concurrent configuration.
+type MultiClientRow struct {
+	Baseline   MultiClientReport
+	Concurrent MultiClientReport
+}
+
+// Speedup is concurrent over baseline throughput (>1 = faster).
+func (r MultiClientRow) Speedup() float64 {
+	if r.Baseline.OpsPerSec == 0 {
+		return 0
+	}
+	return r.Concurrent.OpsPerSec / r.Baseline.OpsPerSec
+}
+
+// RunMultiClientComparison measures one file system on one workload both
+// ways: serial baseline (1 client, depth 1) and concurrent (clients,
+// depth).
+func RunMultiClientComparison(name, wl string, clients, depth int) (MultiClientRow, error) {
+	base, err := RunMultiClient(MultiClientConfig{FS: name, Workload: wl, Clients: 1, QueueDepth: 1})
+	if err != nil {
+		return MultiClientRow{}, err
+	}
+	conc, err := RunMultiClient(MultiClientConfig{FS: name, Workload: wl, Clients: clients, QueueDepth: depth})
+	if err != nil {
+		return MultiClientRow{}, err
+	}
+	return MultiClientRow{Baseline: base, Concurrent: conc}, nil
+}
+
+// MultiClientSuite runs the comparison for every registered file system on
+// every multi-client workload.
+func MultiClientSuite(clients, depth int) ([]MultiClientRow, error) {
+	var rows []MultiClientRow
+	for _, name := range fs.Names() {
+		for _, wl := range MultiClientWorkloads() {
+			row, err := RunMultiClientComparison(name, wl, clients, depth)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"testing"
+
+	"ironfs/internal/fs"
+)
+
+// Expected op counts are exact: every client completes its full script or
+// the run errors, so a shortfall means lost operations.
+const (
+	wantSeqReadOpsPerClient     = mcReadPasses * mcDocFiles * (mcDocSize / mcReadChunk)
+	wantCreateHeavyOpsPerClient = 1 + 2*mcFilesPerClient + mcFilesPerClient/mcFsyncEvery +
+		(mcFilesPerClient - mcLiveWindow)
+)
+
+// TestMultiClientAllFS runs both multi-client workloads with four
+// concurrent clients over the scheduler for every registered file system.
+// Run under -race this doubles as the concurrency soak for each FS's
+// locking discipline.
+func TestMultiClientAllFS(t *testing.T) {
+	const clients, depth = 4, 16
+	for _, name := range fs.Names() {
+		for _, wl := range MultiClientWorkloads() {
+			t.Run(name+"/"+wl, func(t *testing.T) {
+				rep, err := RunMultiClient(MultiClientConfig{
+					FS: name, Workload: wl, Clients: clients, QueueDepth: depth,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := clients * wantSeqReadOpsPerClient
+				if wl == CreateHeavy {
+					want = clients * wantCreateHeavyOpsPerClient
+				}
+				if rep.Ops != want {
+					t.Errorf("Ops = %d, want %d", rep.Ops, want)
+				}
+				if rep.Lat.Count != rep.Ops {
+					t.Errorf("latency histogram holds %d samples, want %d", rep.Lat.Count, rep.Ops)
+				}
+				if rep.SimTime <= 0 || rep.OpsPerSec <= 0 {
+					t.Errorf("SimTime = %v, OpsPerSec = %v", rep.SimTime, rep.OpsPerSec)
+				}
+				// The scheduler actually saw traffic: mount/populate and
+				// the workload write through it at depth > 1.
+				if rep.Sched.Enqueued == 0 {
+					t.Errorf("scheduler enqueued nothing at depth %d", depth)
+				}
+			})
+		}
+	}
+}
+
+// TestMultiClientSerialBaseline pins the baseline configuration's shape:
+// one client, depth 1, zero scheduler queueing.
+func TestMultiClientSerialBaseline(t *testing.T) {
+	rep, err := RunMultiClient(MultiClientConfig{
+		FS: "ext3", Workload: CreateHeavy, Clients: 1, QueueDepth: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != wantCreateHeavyOpsPerClient {
+		t.Errorf("Ops = %d, want %d", rep.Ops, wantCreateHeavyOpsPerClient)
+	}
+	if rep.Sched.Enqueued != 0 || rep.Sched.Dispatched != 0 {
+		t.Errorf("depth-1 scheduler queued I/O: %+v", rep.Sched)
+	}
+}
+
+// TestMultiClientComparison sanity-checks the comparison runner on one
+// cheap configuration.
+func TestMultiClientComparison(t *testing.T) {
+	row, err := RunMultiClientComparison("ext3", SeqRead, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Baseline.Clients != 1 || row.Baseline.QueueDepth != 1 {
+		t.Fatalf("baseline config %+v", row.Baseline)
+	}
+	if row.Concurrent.Clients != 4 {
+		t.Fatalf("concurrent config %+v", row.Concurrent)
+	}
+	if row.Speedup() <= 0 {
+		t.Fatalf("speedup = %v", row.Speedup())
+	}
+}
+
+// TestMultiClientUnknown rejects bad names cleanly.
+func TestMultiClientUnknown(t *testing.T) {
+	if _, err := RunMultiClient(MultiClientConfig{FS: "xfs", Workload: SeqRead}); err == nil {
+		t.Fatal("unknown fs accepted")
+	}
+	if _, err := RunMultiClient(MultiClientConfig{FS: "ext3", Workload: "nope"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
 # Pre-merge gate: formatting, vet, build, race-enabled tests, and ironvet
-# (the error-propagation analyzer; see docs/ANALYSIS.md). Run from anywhere
-# inside the repository.
+# (the error-propagation analyzer; see docs/ANALYSIS.md). ironvet analyzes
+# the whole module, so its lockcheck also guards the sched and bcache
+# concurrency code (no mutex held across direct device I/O without a
+# waiver). Run from anywhere inside the repository.
 set -eu
 cd "$(dirname "$0")/.."
 
