@@ -185,16 +185,23 @@ func (fs *FS) readMetaFor(blk int64, bt iron.BlockType) ([]byte, error) {
 }
 
 // checkpointEntry is one committed home block awaiting its final write.
+// data is the payload frozen at commit time: the checkpoint must write the
+// *committed* image, never the live cache buffer, which the running
+// transaction may since have re-dirtied with uncommitted state. A nil data
+// marks an entry killed by a later committed revoke.
 // (Replica copies are written at commit time, not at checkpoint.)
 type checkpointEntry struct {
 	home int64
 	bt   iron.BlockType
+	data []byte
 }
 
-// pending tracks committed-but-not-checkpointed state.
+// pending tracks committed-but-not-checkpointed state. seen maps a home
+// block to its index in entries, so a later commit of the same block
+// refreshes the frozen payload in place.
 type pendingState struct {
 	entries []checkpointEntry
-	seen    map[int64]bool
+	seen    map[int64]int
 }
 
 // ---------------------------------------------------------------------------
@@ -210,17 +217,17 @@ const maxTxnData = 768
 // join the transaction (JBD's commit-batching sleep, in yield form).
 const commitYields = 8
 
-// maybeCommit commits the running transaction if it has grown large.
+// maybeCommit commits the running transaction if it has grown large. While
+// a commit is writing, the running transaction keeps absorbing operations —
+// but not without bound: a frozen transaction gets exactly one descriptor
+// block (PtrsPerBlock-2 tags), so once the running transaction reaches the
+// commit threshold it must wait out the in-flight commit (commitLocked
+// does) instead of growing past the descriptor's capacity.
 func (fs *FS) maybeCommit() error {
-	if fs.committing {
-		// A commit is already writing; the running transaction keeps
-		// absorbing operations and goes out in the next one.
+	if len(fs.tx.metaOrder) < maxTxnMeta && len(fs.tx.dataOrder) < maxTxnData {
 		return nil
 	}
-	if len(fs.tx.metaOrder) >= maxTxnMeta || len(fs.tx.dataOrder) >= maxTxnData {
-		return fs.commitLocked()
-	}
-	return nil
+	return fs.commitLocked()
 }
 
 // commitPlan is a frozen transaction: every device request materialized
@@ -239,7 +246,11 @@ type commitPlan struct {
 	commit    []byte
 	metaOrder []int64
 	metaType  map[int64]iron.BlockType
-	dataOrder []int64
+	// metaCopies holds the frozen payload of each metaOrder block; the
+	// checkpoint writes these, not the live cache buffers.
+	metaCopies [][]byte
+	dataOrder  []int64
+	revokes    []int64
 }
 
 // commitLocked commits the running transaction: ordered data first, then
@@ -347,6 +358,7 @@ func (fs *FS) freezeTxnLocked() (*commitPlan, error) {
 	// references it commits). The payloads are frozen copies.
 	plan := &commitPlan{
 		metaOrder: t.metaOrder, metaType: t.metaType, dataOrder: t.dataOrder,
+		revokes: t.revokes,
 	}
 	for _, blk := range t.dataOrder {
 		cp := make([]byte, BlockSize)
@@ -359,6 +371,14 @@ func (fs *FS) freezeTxnLocked() (*commitPlan, error) {
 	// copies, commit.
 	seq := fs.seq + 1
 	nJData := len(t.metaOrder)
+	if nJData > PtrsPerBlock-2 {
+		// Unreachable by construction — maybeCommit flushes the running
+		// transaction far below one descriptor block's tag capacity, even
+		// while a commit is in flight — but an overflow would scribble
+		// past the descriptor block, so fail the commit instead.
+		fs.abortJournal(BTJDesc, "transaction overflows descriptor block")
+		return nil, vfs.ErrIO
+	}
 	nRevoke := 0
 	if len(t.revokes) > 0 {
 		nRevoke = (len(t.revokes) + PtrsPerBlock - 3) / (PtrsPerBlock - 2)
@@ -405,10 +425,18 @@ func (fs *FS) freezeTxnLocked() (*commitPlan, error) {
 	tcHash := cksumBlock(desc)
 	for _, blk := range t.metaOrder {
 		data := fs.cache.Get(blk)
+		if data == nil {
+			// A registered metadata block stays pinned dirty until its
+			// commit checkpoints; losing it from the cache would journal
+			// a zero block, so fail the commit instead.
+			fs.abortJournal(t.metaType[blk], "journaled metadata lost from cache")
+			return nil, vfs.ErrIO
+		}
 		cp := make([]byte, BlockSize)
 		copy(cp, data)
 		plan.jReqs = append(plan.jReqs, disk.Request{Block: base + rel, Data: cp})
 		plan.jTypes = append(plan.jTypes, BTJData)
+		plan.metaCopies = append(plan.metaCopies, cp)
 		if fs.opts.TxnChecksum {
 			tcHash ^= cksumBlock(cp)
 		}
@@ -420,11 +448,9 @@ func (fs *FS) freezeTxnLocked() (*commitPlan, error) {
 	// (§6.1: "all metadata blocks are written to a separate replica log"),
 	// so every commit pays the extra seek and writes — the cost Table 6
 	// charges to Mr.
-	for _, blk := range t.metaOrder {
+	for i, blk := range t.metaOrder {
 		if rep := replicaOf[blk]; rep != 0 {
-			cp := make([]byte, BlockSize)
-			copy(cp, fs.cache.Get(blk))
-			plan.jReqs = append(plan.jReqs, disk.Request{Block: rep, Data: cp})
+			plan.jReqs = append(plan.jReqs, disk.Request{Block: rep, Data: plan.metaCopies[i]})
 			plan.jTypes = append(plan.jTypes, BTReplica)
 		}
 	}
@@ -463,11 +489,18 @@ func (fs *FS) freezeTxnLocked() (*commitPlan, error) {
 // and checkpoints — and touches only the plan's frozen payloads plus
 // thread-safe members (device, recorder, health, tracer).
 func (fs *FS) writeCommitPlan(plan *commitPlan) error {
+	// Barrier failures, unlike write failures, are not part of the
+	// reproduced stock-ext3 bug surface: a failed ordering point means the
+	// commit's durability cannot be vouched for, so the journal aborts —
+	// otherwise a concurrent fsync waiter would see durableSeq advance
+	// with health still Healthy and report durability for a commit whose
+	// ordering barrier failed.
 	if len(plan.dataReqs) > 0 {
 		if err := fs.devWriteBatch(plan.dataReqs, plan.dataTypes); err != nil {
 			return err // FixBugs only: stock ext3 sails on
 		}
 		if err := fs.dev.Barrier(); err != nil {
+			fs.abortJournal(BTData, "ordered-data barrier failed")
 			return vfs.ErrIO
 		}
 	}
@@ -488,6 +521,7 @@ func (fs *FS) writeCommitPlan(plan *commitPlan) error {
 		}
 		if !fs.opts.NoBarrier {
 			if err := fs.dev.Barrier(); err != nil {
+				fs.abortJournal(BTJCommit, "pre-commit barrier failed")
 				return vfs.ErrIO
 			}
 		}
@@ -496,6 +530,7 @@ func (fs *FS) writeCommitPlan(plan *commitPlan) error {
 		}
 	}
 	if err := fs.dev.Barrier(); err != nil {
+		fs.abortJournal(BTJCommit, "post-commit barrier failed")
 		return vfs.ErrIO
 	}
 	return nil
@@ -504,15 +539,30 @@ func (fs *FS) writeCommitPlan(plan *commitPlan) error {
 // finishCommitLocked queues the durable transaction's home writes for
 // checkpoint and unpins its ordered data.
 func (fs *FS) finishCommitLocked(plan *commitPlan) error {
-	for _, blk := range plan.metaOrder {
-		if fs.pending.seen == nil {
-			fs.pending.seen = map[int64]bool{}
+	if fs.pending.seen == nil {
+		fs.pending.seen = map[int64]int{}
+	}
+	// A committed revoke kills any checkpoint queued by an *earlier*
+	// commit: that image describes a block this transaction freed, and
+	// writing it home could clobber a reallocation. The kills run before
+	// the adds so a block revoked and then re-journaled within this same
+	// transaction keeps its fresh entry.
+	for _, blk := range plan.revokes {
+		if j, ok := fs.pending.seen[blk]; ok {
+			fs.pending.entries[j].data = nil
+			delete(fs.pending.seen, blk)
 		}
-		if !fs.pending.seen[blk] {
-			fs.pending.seen[blk] = true
-			fs.pending.entries = append(fs.pending.entries,
-				checkpointEntry{home: blk, bt: plan.metaType[blk]})
+	}
+	for i, blk := range plan.metaOrder {
+		if j, ok := fs.pending.seen[blk]; ok {
+			// A newer committed image supersedes the queued one.
+			fs.pending.entries[j].bt = plan.metaType[blk]
+			fs.pending.entries[j].data = plan.metaCopies[i]
+			continue
 		}
+		fs.pending.seen[blk] = len(fs.pending.entries)
+		fs.pending.entries = append(fs.pending.entries,
+			checkpointEntry{home: blk, bt: plan.metaType[blk], data: plan.metaCopies[i]})
 	}
 	// Ordered data is already home; unpin it — unless the running
 	// transaction re-dirtied the block while the commit was in flight,
@@ -551,16 +601,14 @@ func (fs *FS) ensureJournalSpace(txnLen int64) error {
 func (fs *FS) checkpointLocked() error {
 	fs.tr.Phase("checkpoint", fmt.Sprintf("pending=%d", len(fs.pending.entries)))
 	if len(fs.pending.entries) > 0 {
-		reqs := make([]disk.Request, 0, len(fs.pending.entries)*2)
+		reqs := make([]disk.Request, 0, len(fs.pending.entries))
 		types := make([]iron.BlockType, 0, cap(reqs))
 		for _, e := range fs.pending.entries {
-			data := fs.cache.Get(e.home)
-			if data == nil {
-				// Evicted clean copies cannot happen for dirty blocks;
-				// a missing buffer means the block was since revoked.
+			if e.data == nil {
+				// Killed by a later committed revoke.
 				continue
 			}
-			reqs = append(reqs, disk.Request{Block: e.home, Data: data})
+			reqs = append(reqs, disk.Request{Block: e.home, Data: e.data})
 			types = append(types, e.bt)
 		}
 		// Checkpoint writes: stock ext3 ignores failures here too, which
@@ -572,6 +620,16 @@ func (fs *FS) checkpointLocked() error {
 			return vfs.ErrIO
 		}
 		for _, e := range fs.pending.entries {
+			// The home write above used the payload frozen at commit; the
+			// cache buffer may carry the running transaction's uncommitted
+			// state on top of it, in which case the dirty pin now belongs
+			// to that transaction and must survive the checkpoint.
+			if _, live := fs.tx.metaType[e.home]; live {
+				continue
+			}
+			if _, live := fs.tx.dataType[e.home]; live {
+				continue
+			}
 			fs.cache.MarkClean(e.home)
 		}
 	}
