@@ -7,6 +7,7 @@
 //
 //	ironbench [-table6] [-space] [-single] [-bench SSH|Web|Post|TPCB] [-json]
 //	ironbench -multiclient [-clients N] [-depth D] [-fs name] [-json]
+//	ironbench -fsck [-fsck-workers N] [-fs name] [-json]
 //
 // With -json the selected studies are emitted as one machine-readable JSON
 // document on stdout (per-variant simulated times and normalized ratios,
@@ -20,6 +21,12 @@
 // against the serial baseline (one client, queue depth 1). Goroutine
 // interleaving makes these numbers wobble slightly run to run, so the
 // committed snapshot records wide-margin speedups, not exact times.
+//
+// -fsck times a full consistency check of a bitmap-damaged image of every
+// registered file system, serially and with the pFSCK-style parallel
+// pipeline, under the virtual-time model (simulated disk plus per-phase
+// CPU critical path). The parallel problem list is verified identical to
+// the serial one before any time is reported.
 package main
 
 import (
@@ -41,9 +48,11 @@ func main() {
 	multi := flag.Bool("multiclient", false, "run the multi-client scheduler study instead of Table 6")
 	clients := flag.Int("clients", 4, "multiclient: concurrent client goroutines")
 	depth := flag.Int("depth", 32, "multiclient: scheduler queue depth")
-	fsName := flag.String("fs", "", "multiclient: restrict to one file system (default: all)")
+	fsName := flag.String("fs", "", "multiclient/fsck: restrict to one file system (default: all)")
+	fsckBench := flag.Bool("fsck", false, "run the fsck serial-vs-parallel study instead of Table 6")
+	fsckWorkers := flag.Int("fsck-workers", 4, "fsck: parallel worker count")
 	flag.Parse()
-	if *multi {
+	if *multi || *fsckBench {
 		table6Set := false
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "table6" {
@@ -134,6 +143,35 @@ func main() {
 				fmt.Printf("%-9s %-12s %10.0f %10.0f %7.2fx\n",
 					row.Concurrent.FS, row.Concurrent.Workload,
 					row.Baseline.OpsPerSec, row.Concurrent.OpsPerSec, row.Speedup())
+			}
+		}
+	}
+
+	if *fsckBench {
+		var rows []workload.FsckRow
+		names := fs.Names()
+		if *fsName != "" {
+			names = []string{*fsName}
+		}
+		for _, name := range names {
+			row, err := workload.RunFsckBench(name, *fsckWorkers)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ironbench: fsck: %v\n", err)
+				os.Exit(1)
+			}
+			rows = append(rows, row)
+		}
+		if *asJSON {
+			for _, row := range rows {
+				doc.Fsck = append(doc.Fsck, row.JSON())
+			}
+		} else {
+			fmt.Printf("Fsck: full consistency check of damaged images, serial vs %d workers\n", *fsckWorkers)
+			fmt.Printf("(virtual time = simulated disk + per-phase CPU critical path)\n\n")
+			fmt.Printf("%-9s %8s %12s %12s %8s\n", "fs", "problems", "serial", "parallel", "speedup")
+			for _, row := range rows {
+				fmt.Printf("%-9s %8d %12v %12v %7.2fx\n",
+					row.FS, row.Serial.Problems, row.Serial.Elapsed, row.Par.Elapsed, row.Speedup())
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package ext3
 import (
 	"fmt"
 
+	"ironfs/internal/fsck"
 	"ironfs/internal/iron"
 	"ironfs/internal/vfs"
 )
@@ -15,19 +16,18 @@ import (
 // journaling file systems want this — "a buggy journaling file system
 // could unknowingly corrupt its on-disk structures; running fsck in the
 // background could detect and recover from such problems."
+//
+// The check is staged pFSCK-style: one serial census (the directory walk
+// is inherently sequential) feeding per-block-group verify tasks that run
+// over fsck.Map's statically scheduled worker pool. Tasks publish into
+// per-task buffers merged in group order, so the problem list is identical
+// for every worker count; workers=1 runs inline on the calling goroutine,
+// byte-identical to the historical serial pass.
 
-// Problem is one inconsistency found by CheckConsistency.
-type Problem struct {
-	// Kind is a stable identifier: "block-bitmap", "inode-bitmap",
-	// "link-count", "free-blocks", "free-inodes", "orphan-inode",
-	// "double-ref", "bad-pointer", "bad-size".
-	Kind string
-	// Detail locates the problem.
-	Detail string
-}
-
-// String renders the problem as "kind: detail".
-func (p Problem) String() string { return p.Kind + ": " + p.Detail }
+// Problem is one inconsistency found by CheckConsistency. The kinds used
+// here: "block-bitmap", "inode-bitmap", "link-count", "free-blocks",
+// "free-inodes", "orphan-inode", "double-ref", "bad-pointer", "bad-size".
+type Problem = fsck.Problem
 
 // fsckState is the reachability census both passes share.
 type fsckState struct {
@@ -165,6 +165,93 @@ func (fs *FS) census() (*fsckState, error) {
 	return st, nil
 }
 
+// groupCheck is one block group's verification result: problems in
+// in-group scan order, the group's contribution to the free counter, the
+// units of work done (for the benchmark's CPU model), and the first error.
+type groupCheck struct {
+	probs []Problem
+	free  uint64
+	units int64
+	err   error
+}
+
+// checkBlockGroup verifies one group's data bitmap against the census.
+// Read-only: safe to run concurrently with other groups while the caller
+// holds fs.mu (the cache, recorder, and device are internally
+// synchronized, and the census map is never written here).
+func (fs *FS) checkBlockGroup(g uint32, st *fsckState) groupCheck {
+	var r groupCheck
+	bm, err := fs.readMeta(int64(fs.gds[g].DataBitmap), BTBitmap)
+	if err != nil {
+		r.err = err
+		return r
+	}
+	start := fs.lay.groupStart(g)
+	first := groupMetaBlks + int64(fs.lay.sb.ITableBlocks)
+	for b := first; b < int64(fs.lay.sb.BlocksPerGroup); b++ {
+		abs := start + b
+		marked := testBit(bm, b)
+		used := st.usedBlocks[abs]
+		switch {
+		case marked && !used:
+			r.probs = append(r.probs, Problem{Kind: "block-bitmap",
+				Detail: fmt.Sprintf("block %d marked allocated but unreachable", abs)})
+		case !marked && used:
+			r.probs = append(r.probs, Problem{Kind: "block-bitmap",
+				Detail: fmt.Sprintf("block %d in use but marked free", abs)})
+		}
+		if !marked {
+			r.free++
+		}
+		r.units++
+	}
+	return r
+}
+
+// checkInodeGroup verifies one group's slice of the inode table: bitmap
+// bits, orphans, and link counts, in inode order.
+func (fs *FS) checkInodeGroup(g uint32, st *fsckState) groupCheck {
+	var r groupCheck
+	bm, err := fs.readMeta(int64(fs.gds[g].INodeBMap), BTIBitmap)
+	if err != nil {
+		r.err = err
+		return r
+	}
+	perGroup := fs.lay.sb.InodesPerGroup
+	for within := uint32(0); within < perGroup; within++ {
+		ino := g*perGroup + within + 1
+		in, err := fs.loadInode(ino)
+		if err != nil {
+			r.err = err
+			return r
+		}
+		marked := testBit(bm, int64(within))
+		switch {
+		case in.allocated() && !marked:
+			r.probs = append(r.probs, Problem{Kind: "inode-bitmap",
+				Detail: fmt.Sprintf("inode %d in use but marked free", ino)})
+		case !in.allocated() && marked:
+			r.probs = append(r.probs, Problem{Kind: "inode-bitmap",
+				Detail: fmt.Sprintf("inode %d free but marked allocated", ino)})
+		}
+		if !marked {
+			r.free++
+		}
+		if in.allocated() {
+			if !st.reachable[ino] {
+				r.probs = append(r.probs, Problem{Kind: "orphan-inode",
+					Detail: fmt.Sprintf("inode %d allocated but unreachable", ino)})
+			} else if in.Links != st.linkCounts[ino] {
+				r.probs = append(r.probs, Problem{Kind: "link-count",
+					Detail: fmt.Sprintf("inode %d has links=%d, directory tree says %d",
+						ino, in.Links, st.linkCounts[ino])})
+			}
+		}
+		r.units++
+	}
+	return r
+}
+
 // CheckConsistency scans the whole volume and reports every cross-block
 // inconsistency: bitmap bits that disagree with reachability, wrong link
 // counts, stale free counters, unreachable (orphan) inodes, doubly
@@ -172,17 +259,31 @@ func (fs *FS) census() (*fsckState, error) {
 func (fs *FS) CheckConsistency() ([]Problem, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	return fs.checkLocked()
+	probs, _, err := fs.checkLocked(1)
+	return probs, err
 }
 
-func (fs *FS) checkLocked() ([]Problem, error) {
+// CheckParallel is CheckConsistency with the verify stage fanned out over
+// `workers` goroutines. The problem list is identical to the serial scan's
+// for any worker count; Stats reports per-phase, per-worker work for the
+// fsck benchmark's virtual-CPU model.
+func (fs *FS) CheckParallel(workers int) ([]Problem, fsck.Stats, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.checkLocked(workers)
+}
+
+func (fs *FS) checkLocked(workers int) ([]Problem, fsck.Stats, error) {
+	var stats fsck.Stats
 	if !fs.mounted {
-		return nil, vfs.ErrNotMounted
+		return nil, stats, vfs.ErrNotMounted
 	}
+	fs.tr.Phase("fsck:census", fmt.Sprintf("workers=%d", workers))
 	st, err := fs.census()
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
+	stats.Add("census", 1, []int64{int64(len(st.usedBlocks) + len(st.reachable))})
 	var probs []Problem
 	add := func(kind, format string, args ...interface{}) {
 		probs = append(probs, Problem{Kind: kind, Detail: fmt.Sprintf(format, args...)})
@@ -197,97 +298,111 @@ func (fs *FS) checkLocked() ([]Problem, error) {
 		add("bad-size", "%s", s)
 	}
 
-	// Block bitmaps vs reachability.
+	// Block bitmaps vs reachability, one task per group.
+	groups := int(fs.lay.sb.GroupCount)
+	fs.tr.Phase("fsck:verify-blocks", fmt.Sprintf("groups=%d workers=%d", groups, workers))
+	blockRes := fsck.Map(workers, groups, func(i int) groupCheck {
+		return fs.checkBlockGroup(uint32(i), st)
+	})
+	units := make([]int64, groups)
 	var freeBlocks uint64
-	for g := uint32(0); g < fs.lay.sb.GroupCount; g++ {
-		bm, err := fs.readMeta(int64(fs.gds[g].DataBitmap), BTBitmap)
-		if err != nil {
-			return probs, err
+	for i, r := range blockRes {
+		units[i] = r.units
+		probs = append(probs, r.probs...)
+		if r.err != nil {
+			stats.Add("verify:blocks", workers, units)
+			return probs, stats, r.err
 		}
-		start := fs.lay.groupStart(g)
-		first := groupMetaBlks + int64(fs.lay.sb.ITableBlocks)
-		for b := first; b < int64(fs.lay.sb.BlocksPerGroup); b++ {
-			abs := start + b
-			marked := testBit(bm, b)
-			used := st.usedBlocks[abs]
-			switch {
-			case marked && !used:
-				add("block-bitmap", "block %d marked allocated but unreachable", abs)
-			case !marked && used:
-				add("block-bitmap", "block %d in use but marked free", abs)
-			}
-			if !marked {
-				freeBlocks++
-			}
-		}
+		freeBlocks += r.free
 	}
+	stats.Add("verify:blocks", workers, units)
 	if freeBlocks != fs.lay.sb.FreeBlocks {
 		add("free-blocks", "superblock says %d free, bitmaps say %d", fs.lay.sb.FreeBlocks, freeBlocks)
 	}
 
-	// Inode bitmaps, link counts, orphans.
+	// Inode bitmaps, link counts, orphans, one task per group.
+	fs.tr.Phase("fsck:verify-inodes", fmt.Sprintf("groups=%d workers=%d", groups, workers))
+	inodeRes := fsck.Map(workers, groups, func(i int) groupCheck {
+		return fs.checkInodeGroup(uint32(i), st)
+	})
+	units = make([]int64, groups)
 	var freeInodes uint64
-	total := fs.lay.sb.InodesPerGroup * fs.lay.sb.GroupCount
-	for ino := uint32(1); ino <= total; ino++ {
-		in, err := fs.loadInode(ino)
-		if err != nil {
-			return probs, err
+	for i, r := range inodeRes {
+		units[i] = r.units
+		probs = append(probs, r.probs...)
+		if r.err != nil {
+			stats.Add("verify:inodes", workers, units)
+			return probs, stats, r.err
 		}
-		g := fs.groupOfInode(ino)
-		bm, err := fs.readMeta(int64(fs.gds[g].INodeBMap), BTIBitmap)
-		if err != nil {
-			return probs, err
-		}
-		within := int64((ino - 1) % fs.lay.sb.InodesPerGroup)
-		marked := testBit(bm, within)
-		switch {
-		case in.allocated() && !marked:
-			add("inode-bitmap", "inode %d in use but marked free", ino)
-		case !in.allocated() && marked:
-			add("inode-bitmap", "inode %d free but marked allocated", ino)
-		}
-		if !marked {
-			freeInodes++
-		}
-		if in.allocated() {
-			if !st.reachable[ino] {
-				add("orphan-inode", "inode %d allocated but unreachable", ino)
-			} else if in.Links != st.linkCounts[ino] {
-				add("link-count", "inode %d has links=%d, directory tree says %d",
-					ino, in.Links, st.linkCounts[ino])
-			}
-		}
+		freeInodes += r.free
 	}
+	stats.Add("verify:inodes", workers, units)
 	if freeInodes != fs.lay.sb.FreeInodes {
 		add("free-inodes", "superblock says %d free, bitmaps say %d", fs.lay.sb.FreeInodes, freeInodes)
 	}
-	return probs, nil
+	return probs, stats, nil
 }
 
-// Repair runs CheckConsistency and fixes what it can: bitmap bits are
-// reconciled with reachability, link counts corrected, free counters
-// recomputed, and orphan inodes freed. Every fix is recorded as RRepair.
-// It returns the problems found (all of which are fixed unless an error
-// interrupts the pass).
-func (fs *FS) Repair() ([]Problem, error) {
+// Repair runs the consistency scan and fixes what it finds: bitmap bits
+// are reconciled with reachability, link counts corrected, free counters
+// recomputed, and orphan inodes freed, all staged in one journal
+// transaction. Every fix is recorded as RRepair.
+//
+// The pass is transactional: either the whole reconciliation commits (a
+// re-check then splits Found into Fixed and, for problem kinds with no
+// automatic fix, Unrecovered) or the staged updates are
+// discarded, the journal aborts, and the volume degrades to read-only with
+// the problems reported Unrecovered. A mid-pass failure can never leave
+// the image half-repaired-and-healthy — before this contract, an
+// interrupted pass left half-reconciled bitmaps staged in the running
+// transaction and mutated in the cache, where a later commit (or any read)
+// would see repairs the check never finished.
+func (fs *FS) Repair() (fsck.Report, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	var rep fsck.Report
 	if !fs.mounted {
-		return nil, vfs.ErrNotMounted
+		return rep, vfs.ErrNotMounted
 	}
 	if err := fs.health.CheckWrite(); err != nil {
-		return nil, err
+		return rep, err
 	}
-	probs, err := fs.checkLocked()
+	probs, _, err := fs.checkLocked(1)
+	rep.Found = probs
 	if err != nil {
-		return probs, err
+		// The scan itself failed; nothing was staged, but the found
+		// problems (if any) are not fixable this pass.
+		rep.Unrecovered = probs
+		return rep, err
 	}
 	if len(probs) == 0 {
-		return nil, nil
+		return rep, nil
 	}
+	fs.tr.Phase("fsck:reconcile", fmt.Sprintf("problems=%d", len(probs)))
+	if err := fs.repairLocked(); err != nil {
+		fs.discardRepairLocked()
+		rep.Unrecovered = probs
+		return rep, err
+	}
+	// Re-check: problems with no automatic fix (wild pointers, damaged
+	// metadata the scan could only note) survive the commit and are
+	// reported Unrecovered rather than claimed Fixed.
+	after, _, cerr := fs.checkLocked(1)
+	if cerr != nil {
+		rep.Unrecovered = probs
+		return rep, cerr
+	}
+	rep.Unrecovered = after
+	rep.Fixed = fsck.Subtract(probs, after)
+	return rep, nil
+}
+
+// repairLocked stages the full reconciliation in the running transaction
+// and commits it. On error the caller discards the half-built state.
+func (fs *FS) repairLocked() error {
 	st, err := fs.census()
 	if err != nil {
-		return probs, err
+		return err
 	}
 
 	// Reconcile block bitmaps and recompute free-block counts.
@@ -296,7 +411,7 @@ func (fs *FS) Repair() ([]Problem, error) {
 	for g := uint32(0); g < fs.lay.sb.GroupCount; g++ {
 		bm, err := fs.tx.meta(int64(fs.gds[g].DataBitmap), BTBitmap)
 		if err != nil {
-			return probs, err
+			return err
 		}
 		start := fs.lay.groupStart(g)
 		first := groupMetaBlks + int64(fs.lay.sb.ITableBlocks)
@@ -316,7 +431,7 @@ func (fs *FS) Repair() ([]Problem, error) {
 		}
 		fs.gds[g].FreeBlocks = groupFree
 		if err := fs.writeGroupDesc(g); err != nil {
-			return probs, err
+			return err
 		}
 	}
 	fs.rec.Recover(iron.RRepair, BTBitmap, "block bitmaps rebuilt from reachability")
@@ -328,18 +443,18 @@ func (fs *FS) Repair() ([]Problem, error) {
 	for ino := uint32(1); ino <= total; ino++ {
 		in, err := fs.loadInode(ino)
 		if err != nil {
-			return probs, err
+			return err
 		}
 		g := fs.groupOfInode(ino)
 		bm, err := fs.tx.meta(int64(fs.gds[g].INodeBMap), BTIBitmap)
 		if err != nil {
-			return probs, err
+			return err
 		}
 		within := int64((ino - 1) % fs.lay.sb.InodesPerGroup)
 		switch {
 		case in.allocated() && !st.reachable[ino]:
 			if err := fs.clearInode(ino); err != nil {
-				return probs, err
+				return err
 			}
 			clearBit(bm, within)
 			freeInodes++
@@ -350,7 +465,7 @@ func (fs *FS) Repair() ([]Problem, error) {
 			if want := st.linkCounts[ino]; in.Links != want {
 				in.Links = want
 				if err := fs.storeInode(ino, in); err != nil {
-					return probs, err
+					return err
 				}
 				fs.rec.Recover(iron.RRepair, BTInode, fmt.Sprintf("inode %d link count corrected", ino))
 			}
@@ -363,7 +478,7 @@ func (fs *FS) Repair() ([]Problem, error) {
 	for g := range perGroupFree {
 		fs.gds[g].FreeInodes = perGroupFree[g]
 		if err := fs.writeGroupDesc(uint32(g)); err != nil {
-			return probs, err
+			return err
 		}
 	}
 	fs.rec.Recover(iron.RRepair, BTIBitmap, "inode bitmaps rebuilt")
@@ -371,14 +486,37 @@ func (fs *FS) Repair() ([]Problem, error) {
 	fs.lay.sb.FreeBlocks = freeBlocks
 	fs.lay.sb.FreeInodes = freeInodes
 	fs.sbDirty = true
+	// Snapshot the staged block list before commit: on a commit failure
+	// the blocks have already moved out of fs.tx into the frozen plan,
+	// but their mutated cache copies must still be discarded.
+	staged := make([]int64, 0, len(fs.tx.metaOrder)+len(fs.tx.dataOrder))
+	staged = append(staged, fs.tx.metaOrder...)
+	staged = append(staged, fs.tx.dataOrder...)
 	if err := fs.commitLocked(); err != nil {
-		return probs, err
+		for _, blk := range staged {
+			fs.cache.Drop(blk)
+		}
+		return err
 	}
 	if err := fs.checkpointLocked(); err != nil {
-		return probs, err
+		return err
 	}
-	if err := fs.writeSuperLocked(0); err != nil {
-		return probs, err
+	return fs.writeSuperLocked(0)
+}
+
+// discardRepairLocked throws away whatever the failed repair pass staged —
+// the running transaction's blocks and their mutated cache copies — and
+// aborts the journal, degrading to read-only. The on-disk image stays
+// exactly as the (failed) check found it: consistent-or-degraded, never
+// half-repaired. Reads after this re-fetch home locations; a remount
+// replays any previously committed transactions as usual.
+func (fs *FS) discardRepairLocked() {
+	for _, blk := range fs.tx.metaOrder {
+		fs.cache.Drop(blk)
 	}
-	return probs, nil
+	for _, blk := range fs.tx.dataOrder {
+		fs.cache.Drop(blk)
+	}
+	fs.tx = newTxn(fs)
+	fs.abortJournal(BTBitmap, "consistency repair failed mid-pass")
 }

@@ -1,0 +1,135 @@
+package fs
+
+import (
+	"reflect"
+	"testing"
+
+	"ironfs/internal/disk"
+)
+
+// buildVolume formats the named file system and populates it with enough
+// structure (directories, files, data) that bitmap damage lands on both
+// used and free space.
+func buildVolume(t *testing.T, name string, d *disk.Disk) {
+	t.Helper()
+	if err := Mkfs(name, d, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	fsys, err := Mount(name, d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Mkdir("/dir", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 3*4096)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for _, p := range []string{"/a", "/dir/b", "/dir/c"} {
+		if err := fsys.Create(p, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fsys.Write(p, 0, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fsys.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFsckConverges is the registry-level contract: damage the
+// allocation bitmaps of every file system, then Check → Repair → Check
+// must converge to a clean image the FS's own oracle accepts.
+func TestFsckConverges(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			d := newDisk(t)
+			buildVolume(t, name, d)
+			flipped, err := DamageBitmaps(name, d, 6)
+			if err != nil || flipped == 0 {
+				t.Fatalf("DamageBitmaps: %d, %v", flipped, err)
+			}
+			res, err := Fsck(name, d, Options{}, FsckConfig{Parallel: 1, Repair: true})
+			if err != nil {
+				t.Fatalf("Fsck: %v (result %+v)", err, res)
+			}
+			if len(res.Problems) == 0 {
+				t.Fatal("damaged image checked clean")
+			}
+			if res.Repair == nil || !res.Repair.FullyRepaired() {
+				t.Fatalf("repair did not fix everything: %+v", res.Repair)
+			}
+			if !res.CleanAfter {
+				t.Fatal("post-repair check still reports problems")
+			}
+			if err := Check(name, d, Options{}); err != nil {
+				t.Fatalf("oracle rejects repaired image: %v", err)
+			}
+		})
+	}
+}
+
+// TestFsckSerialParallelIdentical pins the pFSCK determinism contract:
+// for every file system and a damaged image, the parallel check returns
+// the identical problem list as the serial one. Run under -race this is
+// also the data-race test for the parallel scan.
+func TestFsckSerialParallelIdentical(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			d := newDisk(t)
+			buildVolume(t, name, d)
+			if _, err := DamageBitmaps(name, d, 9); err != nil {
+				t.Fatal(err)
+			}
+			fsys, err := Mount(name, d, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fsys.Unmount()
+			rep, ok := AsRepairer(fsys)
+			if !ok {
+				t.Fatalf("%s does not implement Repairer", name)
+			}
+			serial, _, err := rep.CheckParallel(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(serial) == 0 {
+				t.Fatal("damaged image checked clean")
+			}
+			for _, workers := range []int{2, 4, 7} {
+				par, stats, err := rep.CheckParallel(workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(serial, par) {
+					t.Fatalf("workers=%d: problem list diverged\nserial:   %v\nparallel: %v",
+						workers, serial, par)
+				}
+				if len(stats.Phases) == 0 {
+					t.Fatalf("workers=%d: no phase stats", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestFsckCleanImage: a freshly built volume checks clean through the
+// driver, and no repair report is produced.
+func TestFsckCleanImage(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			d := newDisk(t)
+			buildVolume(t, name, d)
+			res, err := Fsck(name, d, Options{}, FsckConfig{Parallel: 4, Repair: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Problems) != 0 || !res.CleanAfter || res.Repair != nil {
+				t.Fatalf("clean image: %+v", res)
+			}
+		})
+	}
+}

@@ -1,0 +1,188 @@
+package reiser
+
+import (
+	"bytes"
+	"fmt"
+
+	"ironfs/internal/fsck"
+	"ironfs/internal/iron"
+	"ironfs/internal/vfs"
+)
+
+// Repair runs the consistency scan and fixes what it can: dangling
+// directory entries are removed, orphan objects reclaimed, file link
+// counts corrected, and the allocation bitmaps and free counter rebuilt
+// from tree reachability. Fixes stage through the journal in bounded
+// transactions — every intermediate commit is itself a consistent tree —
+// with the bitmap/counter reconciliation as the final atomic commit.
+//
+// On a mid-pass failure the uncommitted tail is discarded and the volume
+// panics (ReiserFS's §5.2 write-failure policy), so the image is always
+// consistent-or-degraded, never half-repaired-and-healthy. After a
+// successful pass the volume is re-checked: problems with no automatic
+// fix are reported Unrecovered rather than claimed Fixed.
+func (fs *FS) Repair() (fsck.Report, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var rep fsck.Report
+	if !fs.mounted {
+		return rep, vfs.ErrNotMounted
+	}
+	if err := fs.health.CheckWrite(); err != nil {
+		return rep, err
+	}
+	probs, _, err := fs.checkLocked(1)
+	rep.Found = probs
+	if err != nil {
+		// The scan itself failed; nothing was staged, but the found
+		// problems (if any) are not fixable this pass.
+		rep.Unrecovered = probs
+		return rep, err
+	}
+	if len(probs) == 0 {
+		return rep, nil
+	}
+	fs.tr.Phase("fsck:reconcile", fmt.Sprintf("problems=%d", len(probs)))
+	if err := fs.repairLocked(); err != nil {
+		fs.discardRepairLocked()
+		rep.Unrecovered = probs
+		return rep, err
+	}
+	after, _, cerr := fs.checkLocked(1)
+	if cerr != nil {
+		rep.Unrecovered = probs
+		return rep, cerr
+	}
+	rep.Unrecovered = after
+	rep.Fixed = fsck.Subtract(probs, after)
+	return rep, nil
+}
+
+// repairLocked applies the reconciliation. Tree fixes reuse the ordinary
+// object operations (so they stage and auto-commit like any mutation);
+// the bitmap rebuild and superblock counter stage last and commit
+// together.
+func (fs *FS) repairLocked() error {
+	cs, err := fs.census()
+	if err != nil {
+		return err
+	}
+
+	// Dangling entries: remove names whose object has no stat item, in
+	// the tree order the census saw them.
+	for _, e := range cs.entries {
+		if _, ok := cs.stats[e.child]; ok {
+			continue
+		}
+		if _, err := fs.dirRemoveEntry(e.parent, e.name); err != nil {
+			return err
+		}
+		fs.rec.Recover(iron.RRepair, BTDirItem, "fsck removed dangling entry")
+		if err := fs.maybeCommit(); err != nil {
+			return err
+		}
+	}
+
+	// Orphan objects: reclaim stat items no directory references.
+	root := rootRef()
+	var rs []objRef
+	for r := range cs.stats {
+		rs = append(rs, r)
+	}
+	sortObjRefs(rs)
+	for _, r := range rs {
+		if r == root || cs.refs[r] != 0 {
+			continue
+		}
+		if err := fs.removeObject(r); err != nil {
+			return err
+		}
+		fs.rec.Recover(iron.RRepair, BTStat, "fsck reclaimed orphan object")
+		if err := fs.maybeCommit(); err != nil {
+			return err
+		}
+	}
+
+	// Link counts (files only), measured against the post-reclaim tree.
+	cs, err = fs.census()
+	if err != nil {
+		return err
+	}
+	rs = rs[:0]
+	for r := range cs.stats {
+		rs = append(rs, r)
+	}
+	sortObjRefs(rs)
+	for _, r := range rs {
+		if r == root {
+			continue
+		}
+		sd := cs.stats[r]
+		n := cs.refs[r]
+		if n == 0 || sd.isDir() || int(sd.Links) == n {
+			continue
+		}
+		sd.Links = uint16(n)
+		if err := fs.putStat(r, &sd); err != nil {
+			return err
+		}
+		fs.rec.Recover(iron.RRepair, BTStat, "fsck corrected link count")
+		if err := fs.maybeCommit(); err != nil {
+			return err
+		}
+	}
+
+	// Rebuild the allocation bitmaps and the free counter from the final
+	// census; the bitmap images and the superblock commit as one
+	// transaction. Bits past BlockCount stay zero, matching mkfs.
+	cs, err = fs.census()
+	if err != nil {
+		return err
+	}
+	var free uint64
+	for bm := int64(0); bm < int64(fs.sb.BitmapLen); bm++ {
+		cur, err := fs.readMetaBlock(int64(fs.sb.BitmapStart)+bm, BTBitmap)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, BlockSize)
+		for bit := int64(0); bit < bitsPerBlock; bit++ {
+			blk := bm*bitsPerBlock + bit
+			if blk >= int64(fs.sb.BlockCount) {
+				break
+			}
+			if _, reachable := cs.used[blk]; reachable || fs.fixedBlock(blk) {
+				buf[bit/8] |= 1 << uint(bit%8)
+			} else {
+				free++
+			}
+		}
+		if !bytes.Equal(cur, buf) {
+			fs.stageMeta(int64(fs.sb.BitmapStart)+bm, buf, BTBitmap)
+			fs.rec.Recover(iron.RRepair, BTBitmap, "fsck rebuilt allocation bitmap")
+		}
+	}
+	if fs.sb.FreeBlocks != free {
+		fs.sb.FreeBlocks = free
+		fs.sbDirty = true
+		fs.rec.Recover(iron.RRepair, BTSuper, "fsck recomputed free-block counter")
+	}
+	return fs.commitLocked()
+}
+
+// discardRepairLocked throws away whatever the failed repair pass staged
+// but had not committed — cache copies included, so later reads cannot
+// see half-finished fixes — and panics the volume. Transactions the pass
+// already committed were each consistent, so the image on disk is a valid
+// (if still damaged) tree.
+func (fs *FS) discardRepairLocked() {
+	for _, blk := range fs.tx.metaOrder {
+		fs.cache.Drop(blk)
+	}
+	for _, blk := range fs.tx.dataOrder {
+		fs.cache.Drop(blk)
+	}
+	fs.tx = newTxn()
+	fs.sbDirty = false
+	fs.panicFS(BTBitmap, "consistency repair failed mid-pass")
+}

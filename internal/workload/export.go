@@ -126,9 +126,58 @@ func (r MultiClientRow) JSON() MultiClientRowJSON {
 	}
 }
 
+// FsckRunJSON is one timed consistency check.
+type FsckRunJSON struct {
+	Workers  int `json:"workers"`
+	Problems int `json:"problems"`
+	// DiskTimeNs is the simulated clock delta around the check.
+	DiskTimeNs int64 `json:"disk_time_ns"`
+	// CPUTimeNs is the virtual-CPU critical path across the check's
+	// phases (per-worker maximum, summed over phases).
+	CPUTimeNs int64 `json:"cpu_time_ns"`
+	// ElapsedNs is DiskTimeNs + CPUTimeNs.
+	ElapsedNs int64 `json:"elapsed_ns"`
+}
+
+// FsckRowJSON is one file system's serial-versus-parallel fsck
+// comparison over identically damaged images.
+type FsckRowJSON struct {
+	FS    string `json:"fs"`
+	Flips int    `json:"flips"`
+	// Serial is the one-worker check — the mode the goldens pin.
+	Serial FsckRunJSON `json:"serial"`
+	// Parallel is the same check with the verify stages fanned out. Its
+	// problem list is identical to Serial's (the runner verifies this).
+	Parallel FsckRunJSON `json:"parallel"`
+	// Speedup is serial over parallel elapsed time. The CPU term is
+	// deterministic; the parallel disk term wobbles a little with
+	// goroutine interleaving, so snapshots pin a wide margin, not an
+	// exact value.
+	Speedup float64 `json:"speedup"`
+}
+
+func fsckRunJSON(r FsckRun) FsckRunJSON {
+	return FsckRunJSON{
+		Workers: r.Workers, Problems: r.Problems,
+		DiskTimeNs: int64(r.DiskTime), CPUTimeNs: int64(r.CPUTime),
+		ElapsedNs: int64(r.Elapsed),
+	}
+}
+
+// JSON converts one fsck comparison row for serialization.
+func (r FsckRow) JSON() FsckRowJSON {
+	return FsckRowJSON{
+		FS: r.FS, Flips: r.Flips,
+		Serial:   fsckRunJSON(r.Serial),
+		Parallel: fsckRunJSON(r.Par),
+		Speedup:  r.Speedup(),
+	}
+}
+
 // BenchJSON is ironbench -json's top-level document.
 type BenchJSON struct {
 	Table6      *Table6JSON          `json:"table6,omitempty"`
 	Space       []SpaceJSON          `json:"space,omitempty"`
 	MultiClient []MultiClientRowJSON `json:"multi_client,omitempty"`
+	Fsck        []FsckRowJSON        `json:"fsck,omitempty"`
 }
