@@ -1,42 +1,68 @@
-// Command ironvet is the repository's error-propagation static analyzer.
+// Command ironvet is the repository's crash-consistency static analyzer
+// suite.
 //
 // Usage:
 //
-//	go run ./cmd/ironvet ./...        # analyze the module, exit 1 on findings
-//	go run ./cmd/ironvet -policies    # print the //iron:policy table
+//	go run ./cmd/ironvet ./...               # run every pass, exit 1 on findings
+//	go run ./cmd/ironvet -pass txcheck ./... # run a subset of passes
+//	go run ./cmd/ironvet -json ./...         # machine-readable findings
+//	go run ./cmd/ironvet -passes             # list the passes
+//	go run ./cmd/ironvet -policies           # print the //iron:policy table
 //
-// ironvet walks every non-test package of the module and enforces the
-// error-propagation discipline described in docs/ANALYSIS.md: disk errors
-// must be handled, propagated, or explicitly whitelisted as one of the
-// paper's deliberate failure policies via //iron:policy. It also checks
-// that no function holds a sync.Mutex across direct device I/O without a
-// //iron:lockok waiver. Package patterns are accepted for familiarity but
-// the whole module is always analyzed; the analysis is cheap.
+// ironvet walks every non-test package of the module and runs the pass
+// suite described in docs/ANALYSIS.md: errprop (discarded device errors),
+// lockcheck (mutex held across device I/O), txcheck (raw metadata writes
+// outside the journal machinery), degradecheck (success reported before
+// commit/repair errors are known), lockorder (lock-acquisition cycles and
+// rank inversions), and tracecheck (silent journal/dispatch/repair
+// phases). Package patterns are accepted for familiarity but the whole
+// module is always analyzed; the analysis is cheap.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"ironfs/internal/analysis"
 )
 
 func main() {
 	policies := flag.Bool("policies", false, "print the //iron:policy documentation table and exit")
+	listPasses := flag.Bool("passes", false, "list the available passes and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	passFlag := flag.String("pass", "", "comma-separated pass subset to run (default: all)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ironvet [-policies] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: ironvet [-json] [-pass p1,p2] [-passes] [-policies] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *listPasses {
+		for _, p := range analysis.Passes() {
+			fmt.Printf("%-12s %s\n", p.Name, p.Doc)
+		}
+		return
+	}
+
+	var passNames []string
+	if *passFlag != "" {
+		for _, n := range strings.Split(*passFlag, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				passNames = append(passNames, n)
+			}
+		}
+	}
 
 	root, err := moduleRoot()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ironvet:", err)
 		os.Exit(2)
 	}
-	res, err := analysis.Run(root, analysis.DefaultConfig())
+	res, err := analysis.RunPasses(root, analysis.DefaultConfig(), passNames)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ironvet:", err)
 		os.Exit(2)
@@ -47,16 +73,58 @@ func main() {
 		return
 	}
 
-	for _, f := range res.Findings {
-		rel := f
-		if r, err := filepath.Rel(root, f.Pos.Filename); err == nil {
-			rel.Pos.Filename = r
+	if *jsonOut {
+		printJSON(res, root)
+	} else {
+		for _, f := range res.Findings {
+			rel := f
+			if r, err := filepath.Rel(root, f.Pos.Filename); err == nil {
+				rel.Pos.Filename = r
+			}
+			fmt.Println(rel)
 		}
-		fmt.Println(rel)
 	}
 	if n := len(res.Findings); n > 0 {
 		fmt.Fprintf(os.Stderr, "ironvet: %d finding(s)\n", n)
 		os.Exit(1)
+	}
+}
+
+// jsonFinding is the stable machine-readable shape of one finding; CI
+// archives this output, so field names are a compatibility surface.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Pass     string `json:"pass"`
+	Severity string `json:"severity"`
+	Message  string `json:"message"`
+}
+
+// printJSON renders the findings as a JSON array (never null: an empty
+// run prints []), with module-relative slash-separated paths so output is
+// byte-identical across machines.
+func printJSON(res *analysis.Result, root string) {
+	out := make([]jsonFinding, 0, len(res.Findings))
+	for _, f := range res.Findings {
+		file := f.Pos.Filename
+		if r, err := filepath.Rel(root, file); err == nil {
+			file = filepath.ToSlash(r)
+		}
+		out = append(out, jsonFinding{
+			File:     file,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Pass:     f.Analyzer,
+			Severity: f.Severity,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "ironvet:", err)
+		os.Exit(2)
 	}
 }
 

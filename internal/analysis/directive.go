@@ -5,14 +5,50 @@ import (
 	"go/ast"
 	"go/token"
 	"regexp"
+	"strconv"
 	"strings"
 )
 
 // Directive kinds.
 const (
-	dirPolicy = "policy"
-	dirLockOK = "lockok"
+	dirPolicy      = "policy"
+	dirLockOK      = "lockok"
+	dirTxEntry     = "txentry"
+	dirTxOK        = "txok"
+	dirCommitPoint = "commitpoint"
+	dirDegradeOK   = "degradeok"
+	dirLockOrder   = "lockorder"
+	dirLockOrderOK = "lockorderok"
+	dirTraceOK     = "traceok"
 )
+
+// directiveOwner maps each directive kind to the pass that consumes it
+// (for staleness gating when -pass selects a subset) and the analyzer
+// label its hygiene findings carry.
+var directiveOwner = map[string]struct{ pass, label string }{
+	dirPolicy:      {"errprop", "policy"},
+	dirLockOK:      {"lockcheck", "lockcheck"},
+	dirTxEntry:     {"txcheck", "txcheck"},
+	dirTxOK:        {"txcheck", "txcheck"},
+	dirCommitPoint: {"degradecheck", "degradecheck"},
+	dirDegradeOK:   {"degradecheck", "degradecheck"},
+	dirLockOrder:   {"lockorder", "lockorder"},
+	dirLockOrderOK: {"lockorder", "lockorder"},
+	dirTraceOK:     {"tracecheck", "tracecheck"},
+}
+
+// staleMessage explains, per kind, what a stale directive failed to cover.
+var staleMessage = map[string]string{
+	dirPolicy:      "stale //iron:policy: no discarded device error on this line or the next",
+	dirLockOK:      "stale //iron:lockok: no device I/O under a held mutex on this line, the next, or this function",
+	dirTxEntry:     "stale //iron:txentry: not attached to a function declaration",
+	dirTxOK:        "stale //iron:txok: no raw device write to waive on this line, the next, or this function",
+	dirCommitPoint: "stale //iron:commitpoint: not attached to a function declaration",
+	dirDegradeOK:   "stale //iron:degradeok: no degradecheck finding to waive on this line, the next, or this function",
+	dirLockOrder:   "stale //iron:lockorder: not attached to a mutex that participates in the acquisition graph",
+	dirLockOrderOK: "stale //iron:lockorderok: no lock-order finding to waive on this line, the next, or this function",
+	dirTraceOK:     "stale //iron:traceok: no untraced phase function to waive here",
+}
 
 // Directive is one parsed //iron: comment.
 //
@@ -20,17 +56,28 @@ const (
 //
 //	//iron:policy <fs> <paper-ref> <note...>
 //	//iron:lockok <note...>
+//	//iron:txentry <note...>
+//	//iron:txok <note...>
+//	//iron:commitpoint <note...>
+//	//iron:degradeok <note...>
+//	//iron:lockorder <rank> <note...>
+//	//iron:lockorderok <note...>
+//	//iron:traceok <note...>
 //
 // <fs> is one of Config.PolicyFS. <paper-ref> is a section reference like
 // §5.3, optionally suffixed with the Figure-2 taxonomy level the drop
-// reproduces, e.g. §5.3:RZero. <note> is required free text.
+// reproduces, e.g. §5.3:RZero. <rank> is a non-negative integer: lower
+// ranks must be acquired first. <note> is required free text — every
+// suppression and annotation carries its one-line justification.
 type Directive struct {
 	Kind string
 	FS   string // policy only
 	Ref  string // policy only: §N[.N...][:Level]
+	Rank int    // lockorder only
 	Note string
 	Pos  token.Position
-	// Used is set when the directive suppressed at least one finding.
+	// Used is set when the directive suppressed at least one finding or
+	// annotated a live program element.
 	Used bool
 	// Err is the malformed-ness explanation, empty when well-formed.
 	Err string
@@ -92,7 +139,21 @@ func (ds *directiveSet) add(d *Directive) {
 	lines[d.Pos.Line] = d
 }
 
-// parseDirective parses the text after "//iron:".
+// noteDirective parses the common `//iron:<kind> <note...>` shape.
+func noteDirective(kind string, fields []string) *Directive {
+	d := &Directive{Kind: kind}
+	if len(fields) < 2 {
+		d.Err = fmt.Sprintf("want //iron:%s <note...> (the note is the justification, it is required)", kind)
+		return d
+	}
+	d.Note = strings.Join(fields[1:], " ")
+	return d
+}
+
+// parseDirective parses the text after "//iron:". Unknown directive names
+// are hard errors: a typo in a suppression must fail the build, not
+// silently leave the finding unsuppressed elsewhere or, worse, suppress
+// nothing while looking intentional.
 func parseDirective(rest string) *Directive {
 	fields := strings.Fields(rest)
 	if len(fields) == 0 {
@@ -115,58 +176,101 @@ func parseDirective(rest string) *Directive {
 			d.Err = fmt.Sprintf("unknown Figure-2 taxonomy level %q", level)
 		}
 		return d
-	case dirLockOK:
-		d := &Directive{Kind: dirLockOK}
-		if len(fields) < 2 {
-			d.Err = "want //iron:lockok <note...>"
+	case dirLockOrder:
+		d := &Directive{Kind: dirLockOrder}
+		if len(fields) < 3 {
+			d.Err = "want //iron:lockorder <rank> <note...>"
 			return d
 		}
-		d.Note = strings.Join(fields[1:], " ")
+		rank, err := strconv.Atoi(fields[1])
+		if err != nil || rank < 0 {
+			d.Err = fmt.Sprintf("bad rank %q, want a non-negative integer (lower acquires first)", fields[1])
+			return d
+		}
+		d.Rank = rank
+		d.Note = strings.Join(fields[2:], " ")
 		return d
+	case dirLockOK, dirTxEntry, dirTxOK, dirCommitPoint, dirDegradeOK, dirLockOrderOK, dirTraceOK:
+		return noteDirective(fields[0], fields)
 	default:
-		return &Directive{Kind: fields[0], Err: fmt.Sprintf("unknown directive iron:%s", fields[0])}
+		return &Directive{Kind: fields[0], Err: fmt.Sprintf("unknown directive iron:%s (known: %s)", fields[0], knownDirectives())}
 	}
 }
 
-// suppress looks for a well-formed directive of the given kind on the
-// finding's line or the line directly above it, marks it used, and reports
-// whether the finding is covered.
-func (ds *directiveSet) suppress(kind string, pos token.Position) bool {
+// knownDirectives renders the legal vocabulary for the unknown-name error.
+func knownDirectives() string {
+	return strings.Join([]string{
+		dirPolicy, dirLockOK, dirTxEntry, dirTxOK, dirCommitPoint,
+		dirDegradeOK, dirLockOrder, dirLockOrderOK, dirTraceOK,
+	}, ", ")
+}
+
+// find locates a well-formed directive of the given kind covering pos: on
+// pos's own line, or anywhere in the contiguous run of directive lines
+// directly above it. The contiguity rule lets annotations of different
+// kinds stack above one declaration (//iron:lockok over //iron:txentry
+// over func) without breaking each other's attachment.
+func (ds *directiveSet) find(kind string, pos token.Position) *Directive {
 	lines := ds.byLine[pos.Filename]
 	if lines == nil {
-		return false
+		return nil
 	}
-	for _, ln := range []int{pos.Line, pos.Line - 1} {
-		if d, ok := lines[ln]; ok && d.Kind == kind && d.Err == "" {
-			d.Used = true
-			return true
+	if d, ok := lines[pos.Line]; ok && d.Kind == kind && d.Err == "" {
+		return d
+	}
+	for ln := pos.Line - 1; ; ln-- {
+		d, ok := lines[ln]
+		if !ok {
+			return nil
 		}
+		if d.Kind == kind && d.Err == "" {
+			return d
+		}
+	}
+}
+
+// suppress looks for a well-formed directive of the given kind covering
+// the finding's position, marks it used, and reports whether the finding
+// is covered.
+func (ds *directiveSet) suppress(kind string, pos token.Position) bool {
+	if d := ds.find(kind, pos); d != nil {
+		d.Used = true
+		return true
 	}
 	return false
 }
 
-// suppressFunc is suppress for function-granular lockok directives: the
-// directive may sit on, or directly above, the func declaration line.
-func (ds *directiveSet) suppressFunc(mod *module, fd *ast.FuncDecl) bool {
+// suppressFunc is suppress for function-granular directives: the directive
+// may sit on, or directly above, the func declaration line.
+func (ds *directiveSet) suppressFunc(mod *module, kind string, fd *ast.FuncDecl) bool {
 	pos := mod.fset.Position(fd.Pos())
-	return ds.suppress(dirLockOK, pos)
+	return ds.suppress(kind, pos)
 }
 
-// validate reports malformed and stale directives. It must run after the
-// analyzers, which mark directives used.
-func (ds *directiveSet) validate() []Finding {
+// lookup returns the well-formed directive of the given kind covering
+// pos, without marking it used.
+func (ds *directiveSet) lookup(kind string, pos token.Position) *Directive {
+	return ds.find(kind, pos)
+}
+
+// validate reports malformed, unknown, and stale directives. It must run
+// after the passes, which mark directives used. Staleness is only judged
+// for directive kinds whose owning pass ran; malformed and unknown
+// directives are always hard errors.
+func (ds *directiveSet) validate(ran map[string]bool) []Finding {
 	var out []Finding
 	for _, d := range ds.all {
+		owner, known := directiveOwner[d.Kind]
 		switch {
-		case d.Err != "":
-			out = append(out, Finding{Pos: d.Pos, Analyzer: dirPolicy,
+		case !known:
+			out = append(out, Finding{Pos: d.Pos, Analyzer: "directive", Severity: SevError,
 				Message: "malformed directive: " + d.Err})
-		case !d.Used && d.Kind == dirPolicy:
-			out = append(out, Finding{Pos: d.Pos, Analyzer: dirPolicy,
-				Message: "stale //iron:policy: no discarded device error on this line or the next"})
-		case !d.Used && d.Kind == dirLockOK:
-			out = append(out, Finding{Pos: d.Pos, Analyzer: "lockcheck",
-				Message: "stale //iron:lockok: no device I/O under a held mutex on this line, the next, or this function"})
+		case d.Err != "":
+			out = append(out, Finding{Pos: d.Pos, Analyzer: owner.label, Severity: SevError,
+				Message: "malformed directive: " + d.Err})
+		case !d.Used && ran[owner.pass]:
+			out = append(out, Finding{Pos: d.Pos, Analyzer: owner.label, Severity: SevWarn,
+				Message: staleMessage[d.Kind]})
 		}
 	}
 	return out

@@ -20,9 +20,9 @@ import (
 //
 // Each finding may be whitelisted by a //iron:policy directive on the
 // same line or the line above; everything else is a diagnostic.
-func runErrprop(mod *module, cfg Config, taint *taintSet, dirs *directiveSet) []Finding {
-	e := &errprop{mod: mod, taint: taint, dirs: dirs}
-	for _, pi := range mod.pkgs {
+func runErrprop(ctx *passContext) []Finding {
+	e := &errprop{mod: ctx.mod, taint: ctx.taint, dirs: ctx.dirs}
+	for _, pi := range ctx.mod.pkgs {
 		for _, f := range pi.files {
 			e.info = pi.info
 			for _, decl := range f.Decls {
@@ -58,7 +58,7 @@ func (e *errprop) report(pos token.Pos, format string, args ...any) {
 	if e.dirs.suppress(dirPolicy, p) {
 		return
 	}
-	e.findings = append(e.findings, Finding{Pos: p, Analyzer: "errprop", Message: fmt.Sprintf(format, args...)})
+	e.findings = append(e.findings, Finding{Pos: p, Analyzer: "errprop", Severity: SevError, Message: fmt.Sprintf(format, args...)})
 }
 
 // taintedCall returns the callee when call is a static call to a tainted
@@ -191,7 +191,7 @@ func (e *errprop) overwriteScan(list []ast.Stmt) {
 			if p, ok := pending[v]; ok {
 				pp := e.mod.fset.Position(p.pos)
 				if !e.dirs.suppress(dirPolicy, pp) {
-					e.findings = append(e.findings, Finding{Pos: pp, Analyzer: "errprop",
+					e.findings = append(e.findings, Finding{Pos: pp, Analyzer: "errprop", Severity: SevError,
 						Message: fmt.Sprintf("device-originated error from %s assigned to %s is overwritten before use", funcLabel(p.callee), id.Name)})
 				}
 			}

@@ -16,7 +16,8 @@ import (
 // the shape that deadlocks or stalls once I/O becomes asynchronous.
 // Deliberate exceptions (mount paths, the scrubber, the fault-injection
 // wrapper) carry //iron:lockok on the function or the call line.
-func runLockcheck(mod *module, cfg Config, dirs *directiveSet) []Finding {
+func runLockcheck(ctx *passContext) []Finding {
+	mod, cfg, dirs := ctx.mod, ctx.cfg, ctx.dirs
 	ioMethods := map[string]bool{}
 	for _, m := range cfg.IOMethods {
 		ioMethods[m] = true
@@ -121,10 +122,10 @@ func checkFunc(mod *module, info *types.Info, fd *ast.FuncDecl, iface *types.Int
 				continue
 			}
 			pos := mod.fset.Position(ev.pos)
-			if dirs.suppress(dirLockOK, pos) || dirs.suppressFunc(mod, fd) {
+			if dirs.suppress(dirLockOK, pos) || dirs.suppressFunc(mod, dirLockOK, fd) {
 				continue
 			}
-			findings = append(findings, Finding{Pos: pos, Analyzer: "lockcheck",
+			findings = append(findings, Finding{Pos: pos, Analyzer: "lockcheck", Severity: SevError,
 				Message: fmt.Sprintf("mutex %s held across device I/O %s; unlock first or annotate with //iron:lockok", heldKeys(held), ev.key)})
 		}
 	}

@@ -1,0 +1,67 @@
+// Package devkit is the degradecheck corpus's miniature device layer: the
+// device interface the repair writes go to, plus the Health sink that
+// degrade paths must reach.
+package devkit
+
+import "errors"
+
+// ErrIO is the generic device failure.
+var ErrIO = errors.New("devkit: I/O error")
+
+// Request is one block write in a batch.
+type Request struct {
+	Blk  int64
+	Data []byte
+}
+
+// Device mirrors the shape of disk.Device.
+type Device interface {
+	ReadBlock(blk int64, buf []byte) error
+	WriteBlock(blk int64, data []byte) error
+	WriteBatch(reqs []Request) error
+	Barrier() error
+	Close() error
+}
+
+// Disk is the concrete seed type.
+type Disk struct {
+	blocks map[int64][]byte
+}
+
+func (d *Disk) ReadBlock(blk int64, buf []byte) error {
+	if d.blocks[blk] == nil {
+		return ErrIO
+	}
+	copy(buf, d.blocks[blk])
+	return nil
+}
+
+func (d *Disk) WriteBlock(blk int64, data []byte) error {
+	if d.blocks == nil {
+		return ErrIO
+	}
+	d.blocks[blk] = append([]byte(nil), data...)
+	return nil
+}
+
+func (d *Disk) WriteBatch(reqs []Request) error {
+	for _, r := range reqs {
+		if err := d.WriteBlock(r.Blk, r.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Disk) Barrier() error { return nil }
+func (d *Disk) Close() error   { return nil }
+
+// Health mirrors vfs.Health: the sink a commit-failure path must reach.
+type Health struct {
+	state string
+}
+
+// Degrade records the volume's forced state transition.
+func (h *Health) Degrade(why string) {
+	h.state = why
+}

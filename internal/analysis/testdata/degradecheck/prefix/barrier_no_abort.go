@@ -1,0 +1,11 @@
+package prefix
+
+// PR4 bug 2: a failed write barrier between the journal and home writes
+// was logged and forgotten — the journal was not aborted, the volume not
+// degraded, and the caller saw success.
+func (fs *FS) barrierNoAbort() error {
+	if err := fs.barrier(); err != nil {
+		fs.noteRetry() // neither degrades nor propagates
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+package prefix
+
+import (
+	"devkit"
+)
+
+// PR4 bug 1: the ext3 checkpoint handed live transaction payloads to the
+// device and counted them durable before the write's outcome was known —
+// success recorded between the commitpoint call and its error check.
+func (fs *FS) checkpointLivePayload(reqs []devkit.Request) (Report, error) {
+	var rep Report
+	err := fs.writeHome(reqs)
+	rep.Fixed = len(reqs) // payloads already released to callers here
+	if err != nil {
+		return rep, err
+	}
+	return rep, nil
+}

@@ -1,0 +1,15 @@
+package prefix
+
+// PR5 bug 2: the checksum-scrub path recorded the block as repaired and
+// only afterwards looked at the rewrite's error — on the Dc-only
+// configuration the check verified nothing, because success was already
+// counted.
+func (fs *FS) cksumVerifyGap(t int64, buf []byte) ScrubReport {
+	var rep ScrubReport
+	err := fs.dev.WriteBlock(t, buf)
+	rep.Repaired++ // counted before err is examined
+	if err != nil {
+		rep.Unrecovered++
+	}
+	return rep
+}

@@ -1,0 +1,9 @@
+package prefix
+
+// PR4 bug 3: the running-transaction cap exempted "joiner" clients by
+// spawning the commit in a goroutine — its error became structurally
+// unobservable to the operation that claimed durability.
+func (fs *FS) commitUnderGo() error {
+	go fs.commit()
+	return nil
+}

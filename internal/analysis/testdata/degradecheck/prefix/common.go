@@ -1,0 +1,64 @@
+// Package prefix pins the PRE-FIX shapes of the six crash-consistency
+// bugs PRs 4 and 5 fixed by hand — one file per bug, named after it. If
+// degradecheck ever stops flagging one of these, the golden file catches
+// the regression: the analyzer exists precisely so these shapes cannot
+// come back.
+package prefix
+
+import (
+	"devkit"
+)
+
+// Report mirrors fsck.Report.
+type Report struct {
+	Found, Fixed, Unrecovered int
+}
+
+// ScrubReport mirrors the scrubber's report.
+type ScrubReport struct {
+	Scanned, Repaired, Unrecovered int
+}
+
+type FS struct {
+	dev    devkit.Device
+	health devkit.Health
+	dirty  map[int64][]byte
+}
+
+// commit is the corpus commit funnel; its error means the transaction did
+// not reach disk.
+//
+//iron:commitpoint corpus commit funnel
+func (fs *FS) commit() error {
+	var reqs []devkit.Request
+	for blk, data := range fs.dirty {
+		reqs = append(reqs, devkit.Request{Blk: blk, Data: data})
+	}
+	if err := fs.dev.WriteBatch(reqs); err != nil {
+		return err
+	}
+	return fs.dev.Barrier()
+}
+
+// barrier is the corpus write barrier.
+//
+//iron:commitpoint corpus barrier: ordering point between journal and home writes
+func (fs *FS) barrier() error {
+	return fs.dev.Barrier()
+}
+
+// writeHome checkpoints committed payloads to their home locations.
+//
+//iron:commitpoint corpus checkpoint funnel
+func (fs *FS) writeHome(reqs []devkit.Request) error {
+	return fs.dev.WriteBatch(reqs)
+}
+
+// degrade forces the volume read-only; commit-failure paths must reach it
+// (or propagate) to satisfy degradecheck.
+func (fs *FS) degrade(why string) {
+	fs.health.Degrade(why)
+}
+
+// noteRetry is bookkeeping that neither degrades nor propagates.
+func (fs *FS) noteRetry() {}

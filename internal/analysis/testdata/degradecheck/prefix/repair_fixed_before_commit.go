@@ -1,0 +1,13 @@
+package prefix
+
+// PR5 bug 3: ext3's fsck Repair filled in rep.Fixed and then committed —
+// when the commit failed, the caller still saw the inflated Fixed count
+// alongside the error.
+func (fs *FS) repairFixedBeforeCommit(found int) (Report, error) {
+	var rep Report
+	rep.Fixed = found // recorded before the commit's outcome exists
+	if err := fs.commit(); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}

@@ -1,0 +1,13 @@
+package prefix
+
+// PR5 bug 1: the scrubber counted every repair attempt as Repaired — the
+// repair write's error was discarded outright, so failed writes inflated
+// the success counter.
+func (fs *FS) scrubCountsFailedWrites(targets []int64, buf []byte) ScrubReport {
+	var rep ScrubReport
+	for _, t := range targets {
+		fs.dev.WriteBlock(t, buf)
+		rep.Repaired++
+	}
+	return rep
+}

@@ -1,0 +1,55 @@
+// Package tracecases is the tracecheck analyzer corpus: phase-named
+// functions in a traced package that emit directly, through a
+// same-package helper, through the recorder bridge, not at all, or not at
+// all with a waiver.
+package tracecases
+
+import (
+	"tracekit"
+)
+
+type FS struct {
+	tr  *tracekit.Tracer
+	rec *tracekit.Recorder
+	log []int64
+}
+
+// commitGood emits a phase event directly.
+func (fs *FS) commitGood() error {
+	fs.tr.Phase("commit", "")
+	return nil
+}
+
+// replayViaHelper emits through a same-package helper: the closure is
+// transitive within the package.
+func (fs *FS) replayViaHelper() error {
+	fs.emit()
+	return nil
+}
+
+func (fs *FS) emit() {
+	fs.tr.IO("replay", 0)
+}
+
+// scrubViaRecorder emits through the recorder bridge.
+func (fs *FS) scrubViaRecorder() {
+	fs.rec.Detect("checksum mismatch")
+}
+
+// badCheckpoint is a checkpoint phase that emits nothing.
+func (fs *FS) badCheckpoint() error { // want tracecheck: silent phase
+	fs.log = append(fs.log, 1)
+	return nil
+}
+
+// dispatchQuiet is deliberately silent; the waiver carries the reason.
+//
+//iron:traceok corpus: the caller emits one aggregate event for the whole batch
+func (fs *FS) dispatchQuiet() {
+	fs.log = fs.log[:0]
+}
+
+// helperTick has no phase hint in its name, so silence is fine.
+func (fs *FS) helperTick() {
+	fs.log = append(fs.log, 2)
+}

@@ -1,0 +1,39 @@
+// Package tracekit is a miniature stand-in for the real
+// ironfs/internal/trace package: a tracer with a couple of emit methods
+// and the recorder bridge whose Detect/Recover calls also count as
+// emission.
+package tracekit
+
+// Tracer records events.
+type Tracer struct {
+	events []string
+}
+
+// Phase records a named phase event.
+func (t *Tracer) Phase(name, detail string) {
+	t.events = append(t.events, "phase "+name+" "+detail)
+}
+
+// IO records one I/O event.
+func (t *Tracer) IO(op string, blk int64) {
+	t.events = append(t.events, op)
+}
+
+// Recorder mirrors the iron.Recorder detect/recover bridge.
+type Recorder struct {
+	t *Tracer
+}
+
+// Detect records a detection event.
+func (r *Recorder) Detect(what string) {
+	if r.t != nil {
+		r.t.Phase("detect", what)
+	}
+}
+
+// Recover records a recovery event.
+func (r *Recorder) Recover(what string) {
+	if r.t != nil {
+		r.t.Phase("recover", what)
+	}
+}

@@ -1,0 +1,63 @@
+// Package txcases is the txcheck analyzer corpus: raw device writes and
+// raw-write-funnel calls inside and outside the annotated transaction
+// machinery, with and without waivers.
+package txcases
+
+import (
+	"devkit"
+)
+
+type FS struct {
+	dev devkit.Device
+}
+
+// devWrite is the raw-write funnel. It is inside the machinery closure
+// (commitTx calls it) but is not itself an entry point, so reaching it
+// from an unsanctioned operation is still a violation.
+func (fs *FS) devWrite(blk int64, data []byte) error {
+	return fs.dev.WriteBlock(blk, data)
+}
+
+// commitTx is the corpus's commit machinery; everything it (transitively)
+// calls may write raw.
+//
+//iron:txentry corpus commit machinery: the only sanctioned write path
+func (fs *FS) commitTx(blk int64, data []byte) error {
+	if err := fs.devWrite(blk, data); err != nil {
+		return err
+	}
+	return fs.dev.Barrier()
+}
+
+// badDirect writes to the device straight from an operation.
+func (fs *FS) badDirect(data []byte) error {
+	return fs.dev.WriteBlock(1, data) // want txcheck: raw write outside machinery
+}
+
+// badFunnel bypasses the journal through the sanctioned-but-unannotated
+// funnel — the exact shape txcheck exists to catch.
+func (fs *FS) badFunnel(data []byte) error {
+	return fs.devWrite(2, data) // want txcheck: funnel call outside machinery
+}
+
+// goodOp goes through the machinery: calling an annotated entry point is
+// always fine.
+func (fs *FS) goodOp(data []byte) error {
+	return fs.commitTx(3, data)
+}
+
+// waivedDirect writes raw on purpose, waived at the call line.
+func (fs *FS) waivedDirect(data []byte) error {
+	//iron:txok corpus: deliberate raw write, checked by its caller against the ledger
+	return fs.dev.WriteBlock(4, data)
+}
+
+// waivedFunc writes raw throughout; the waiver sits on the function.
+//
+//iron:txok corpus: format-time writer, no journal exists yet
+func (fs *FS) waivedFunc(data []byte) error {
+	if err := fs.dev.WriteBlock(5, data); err != nil {
+		return err
+	}
+	return fs.dev.WriteBatch([]devkit.Request{{Blk: 6, Data: data}})
+}

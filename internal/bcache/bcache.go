@@ -63,6 +63,7 @@ type Cache struct {
 }
 
 type shard struct {
+	//iron:lockorder 30 cache shard lock is innermost; shards never nest on each other
 	mu      sync.Mutex
 	cap     int
 	entries map[int64]*entry

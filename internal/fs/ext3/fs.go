@@ -26,6 +26,7 @@ type FS struct {
 	rec  *iron.Recorder
 	tr   *trace.Tracer
 
+	//iron:lockorder 10 the per-FS big lock is always outermost
 	mu          sync.RWMutex
 	health      vfs.Health
 	lay         layout
@@ -257,6 +258,7 @@ func (fs *FS) devWriteBatch(reqs []disk.Request, types []iron.BlockType) error {
 // the image was not cleanly unmounted, and marks the file system dirty.
 //
 //iron:lockok mount is single-entry: fs.mu serializes API callers, and no other operation can run until Mount returns
+//iron:txentry mount machinery: journal replay plus superblock state transition precede operation traffic
 func (fs *FS) Mount() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -409,6 +411,8 @@ func (fs *FS) Unmount() error {
 
 // writeSuperLocked persists the superblock (and group descriptors when
 // dirty) outside the journal, as ext3 does for its lazily-updated counters.
+//
+//iron:txentry superblock machinery: ext3 maintains sb/group-descriptor counters outside the journal by design
 func (fs *FS) writeSuperLocked(clean uint32) error {
 	fs.lay.sb.Clean = clean
 	sb := make([]byte, BlockSize)

@@ -87,6 +87,8 @@ func (fs *FS) updateCksumTxn(blk int64, data []byte) error {
 
 // updateCksumDirect updates blk's checksum entry with a direct device
 // write, used for the out-of-journal superblock writes.
+//
+//iron:txentry redundancy machinery: in-place checksum block update is its own write path
 func (fs *FS) updateCksumDirect(blk int64, data []byte) error {
 	cblk, off := fs.cksumLoc(blk)
 	tbl, err := fs.readTailMeta(cblk, BTCksum)

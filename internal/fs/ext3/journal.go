@@ -223,6 +223,8 @@ const commitYields = 8
 // block (PtrsPerBlock-2 tags), so once the running transaction reaches the
 // commit threshold it must wait out the in-flight commit (commitLocked
 // does) instead of growing past the descriptor's capacity.
+//
+//iron:commitpoint the operation-facing commit funnel; its error means the transaction did not reach disk
 func (fs *FS) maybeCommit() error {
 	if len(fs.tx.metaOrder) < maxTxnMeta && len(fs.tx.dataOrder) < maxTxnData {
 		return nil
@@ -267,6 +269,8 @@ type commitPlan struct {
 // fs.mu for writing and get it back on return, but must tolerate the
 // window — every caller commits at the end of its operation, with no
 // state carried across the call.
+//
+//iron:commitpoint the group-commit body; its error means the journal write or barrier failed
 func (fs *FS) commitLocked() error {
 	for fs.committing {
 		fs.commitDone.Wait()
@@ -488,6 +492,8 @@ func (fs *FS) freezeTxnLocked() (*commitPlan, error) {
 // without fs.mu held — fs.committing serializes it against other commits
 // and checkpoints — and touches only the plan's frozen payloads plus
 // thread-safe members (device, recorder, health, tracer).
+//
+//iron:txentry commit machinery: writes the frozen commit plan (journal descriptor/data/commit blocks) to disk
 func (fs *FS) writeCommitPlan(plan *commitPlan) error {
 	// Barrier failures, unlike write failures, are not part of the
 	// reproduced stock-ext3 bug surface: a failed ordering point means the
@@ -598,6 +604,8 @@ func (fs *FS) ensureJournalSpace(txnLen int64) error {
 // checkpointLocked writes every committed home block (and its replica) to
 // its final location, then advances the journal tail, logically emptying
 // the journal.
+//
+//iron:txentry commit machinery: checkpoints committed journal payloads to their home locations
 func (fs *FS) checkpointLocked() error {
 	fs.tr.Phase("checkpoint", fmt.Sprintf("pending=%d", len(fs.pending.entries)))
 	if len(fs.pending.entries) > 0 {
@@ -655,6 +663,8 @@ func (fs *FS) checkpointLocked() error {
 // sanity-checked (DSanity); without Tc there is no integrity check on the
 // journaled *payload*, so a corrupt journal data block is replayed verbatim
 // and can corrupt the file system.
+//
+//iron:txentry recovery machinery: mount-time journal replay writes committed transactions home
 func (fs *FS) replayJournal() error {
 	fs.tr.Phase("replay", fs.variantName())
 	base := int64(fs.lay.sb.JournalStart)

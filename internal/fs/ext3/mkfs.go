@@ -10,6 +10,8 @@ import (
 // determine which tail regions (checksum table, replica map, replica area)
 // are reserved; a file system formatted with a feature's region may be
 // mounted with the feature on or off.
+//
+//iron:txentry format-time writer: mkfs lays out the disk before any journal exists
 func Mkfs(dev disk.Device, opts Options) error {
 	if dev.BlockSize() != BlockSize {
 		return fmt.Errorf("ext3: device block size %d, need %d", dev.BlockSize(), BlockSize)

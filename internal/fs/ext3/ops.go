@@ -320,6 +320,7 @@ func (fs *FS) Read(path string, off int64, buf []byte) (int, error) {
 		n, _, _, err := fs.readLocked(path, off, buf)
 		return n, err
 	}
+	//iron:lockorderok the NoAtime branch above returns under RLock; the write-path Lock below is a disjoint path the linear scan misreads as nesting
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	n, ino, in, err := fs.readLocked(path, off, buf)

@@ -170,6 +170,8 @@ func (fs *FS) scrubBatch(targets []scrubTarget, rep *ScrubReport) error {
 // scrubTargetsLocked reads and verifies each target, then issues all of
 // the batch's repair writes through the device as one batch so the
 // scheduler can coalesce them.
+//
+//iron:txentry repair machinery: scrub repairs verified-bad blocks in place under the FS lock; the journal never sees reconstructed data
 func (fs *FS) scrubTargetsLocked(targets []scrubTarget, rep *ScrubReport) error {
 	var repairs []scrubTarget
 	var writes []disk.Request

@@ -136,6 +136,8 @@ var fsckBitmapClasses = map[string][]bitmapClass{
 // FS's own gray-box resolver; flip positions are deterministic, so the
 // same image damaged twice is identical. Returns the number of bits
 // flipped.
+//
+//iron:txok deliberate corruption injector for fsck tests; it writes raw garbage by design
 func DamageBitmaps(name string, raw *disk.Disk, flips int) (int, error) {
 	e, err := lookup(name)
 	if err != nil {

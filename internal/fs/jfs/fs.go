@@ -16,6 +16,7 @@ type FS struct {
 	rec *iron.Recorder
 	tr  *trace.Tracer
 
+	//iron:lockorder 10 the per-FS big lock is always outermost
 	mu      sync.Mutex
 	health  vfs.Health
 	sb      superblock
@@ -154,6 +155,7 @@ func (fs *FS) devWriteBatch(reqs []disk.Request) {
 // descriptors, and replays the record log if dirty.
 //
 //iron:lockok mount is single-entry: fs.mu serializes API callers, and no other operation can run until Mount returns
+//iron:txentry mount machinery: replay plus superblock state transition precede operation traffic
 func (fs *FS) Mount() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -265,6 +267,8 @@ func (fs *FS) Mount() error {
 
 // Unmount commits and writes a clean superblock (the secondary copy is
 // also refreshed, as JFS does for the superblock pair).
+//
+//iron:txentry unmount machinery: final commit and clean-superblock write after operations quiesce
 func (fs *FS) Unmount() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()

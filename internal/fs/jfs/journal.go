@@ -112,6 +112,7 @@ func (fs *FS) dropBlock(blk int64) {
 
 const maxTxnRecords = 256
 
+//iron:commitpoint the operation-facing commit funnel; its error means the transaction did not reach disk
 func (fs *FS) maybeCommit() error {
 	if len(fs.tx.records) >= maxTxnRecords {
 		return fs.commitLocked()
@@ -124,6 +125,9 @@ func (fs *FS) maybeCommit() error {
 // superblock. Write errors on data, log-data and checkpoint writes are all
 // ignored (the §5.3 DZero finding); only the log-superblock write is
 // checked — and crashes on failure.
+//
+//iron:txentry commit machinery: jfs group commit writes log records then checkpoints home blocks
+//iron:commitpoint the group-commit body; its error means the journal write or barrier failed
 func (fs *FS) commitLocked() error {
 	t := fs.tx
 	if t.empty() {
@@ -260,6 +264,8 @@ func (fs *FS) loadLogSuper() error {
 // replayLog applies committed record sets after an unclean shutdown. A
 // sanity-check failure during replay aborts the replay (§5.3: "during
 // journal replay, a sanity-check failure causes the replay to abort").
+//
+//iron:txentry recovery machinery: mount-time log replay writes committed transactions home
 func (fs *FS) replayLog() error {
 	fs.tr.Phase("replay", "jfs")
 	if err := fs.loadLogSuper(); err != nil {

@@ -13,6 +13,8 @@ const defaultLogLen = 128
 const defaultITabBlocks = int64(64)
 
 // Mkfs formats dev as a JFS image.
+//
+//iron:txentry format-time writer: mkfs lays out the disk before any journal exists
 func Mkfs(dev disk.Device) error {
 	if dev.BlockSize() != BlockSize {
 		return fmt.Errorf("jfs: device block size %d, need %d", dev.BlockSize(), BlockSize)

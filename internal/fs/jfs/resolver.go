@@ -12,6 +12,7 @@ import (
 type Resolver struct {
 	raw *disk.Disk
 
+	//iron:lockorder 15 resolver cache nests under the FS lock and calls nothing that locks
 	mu    sync.Mutex
 	gen   int64
 	valid bool

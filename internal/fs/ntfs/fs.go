@@ -18,6 +18,7 @@ type FS struct {
 	rec *iron.Recorder
 	tr  *trace.Tracer
 
+	//iron:lockorder 10 the per-FS big lock is always outermost
 	mu      sync.Mutex
 	health  vfs.Health
 	boot    boot
@@ -88,6 +89,8 @@ func (fs *FS) readBlockRetry(blk int64, bt iron.BlockType) ([]byte, error) {
 // writeRetry writes a block, retrying per NTFS's per-type budgets. For
 // data blocks the exhausted error is recorded but not used — the §5.4
 // DZero finding; for metadata it propagates and the volume degrades.
+//
+//iron:txentry ntfs has no journal: per the paper its machinery is in-place writes with retry plus the MFT mirror, and this funnel is that machinery
 func (fs *FS) writeRetry(blk int64, data []byte, bt iron.BlockType) error {
 	retries := mftWriteRetries
 	if bt == BTData {
@@ -172,6 +175,7 @@ func removeBlk(s []int64, blk int64) []int64 {
 
 const maxTxnMeta = 48
 
+//iron:commitpoint the operation-facing commit funnel; its error means the transaction did not reach disk
 func (fs *FS) maybeCommit() error {
 	if len(fs.tx.metaOrder) >= maxTxnMeta {
 		return fs.commitLocked()
@@ -181,6 +185,8 @@ func (fs *FS) maybeCommit() error {
 
 // commitLocked writes ordered data, the logfile transaction, then
 // checkpoints home locations.
+//
+//iron:commitpoint the group-commit body; its error means the journal write or barrier failed
 func (fs *FS) commitLocked() error {
 	t := fs.tx
 	if t.empty() {

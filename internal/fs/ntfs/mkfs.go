@@ -14,6 +14,8 @@ const defaultLogLen = int64(128)
 const defaultMFTBlocks = int64(64)
 
 // Mkfs formats dev as an NTFS volume.
+//
+//iron:txentry format-time writer: mkfs lays out the disk before any log exists
 func Mkfs(dev disk.Device) error {
 	if dev.BlockSize() != BlockSize {
 		return fmt.Errorf("ntfs: device block size %d, need %d", dev.BlockSize(), BlockSize)

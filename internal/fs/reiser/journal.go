@@ -118,6 +118,8 @@ func (fs *FS) stageData(blk int64, data []byte) {
 }
 
 // maybeCommit commits when the running transaction grows large.
+//
+//iron:commitpoint the operation-facing commit funnel; its error means the transaction did not reach disk
 func (fs *FS) maybeCommit() error {
 	if len(fs.tx.metaOrder) >= maxTxnMeta {
 		return fs.commitLocked()
@@ -126,6 +128,9 @@ func (fs *FS) maybeCommit() error {
 }
 
 // commitLocked commits and immediately checkpoints the running transaction.
+//
+//iron:txentry commit machinery: reiser whole-metadata group commit writes the journal then checkpoints home blocks
+//iron:commitpoint the group-commit body; its error means the journal write or barrier failed
 func (fs *FS) commitLocked() error {
 	t := fs.tx
 	if fs.sbDirty {
@@ -275,6 +280,8 @@ func (fs *FS) loadJournalHeader() error {
 
 // replayJournal applies any committed-but-uncheckpointed transaction. The
 // payload is replayed with no integrity check — the reproduced §5.2 flaw.
+//
+//iron:txentry recovery machinery: mount-time journal replay writes committed transactions home
 func (fs *FS) replayJournal() error {
 	fs.tr.Phase("replay", "reiser")
 	base := int64(fs.sb.JournalStart)

@@ -11,6 +11,8 @@ const defaultJournalLen = 128
 
 // Mkfs formats dev as a ReiserFS image: superblock, bitmaps, journal, and
 // a one-leaf tree holding the root directory's stat item.
+//
+//iron:txentry format-time writer: mkfs lays out the disk before any journal exists
 func Mkfs(dev disk.Device) error {
 	if dev.BlockSize() != BlockSize {
 		return fmt.Errorf("reiser: device block size %d, need %d", dev.BlockSize(), BlockSize)

@@ -76,6 +76,7 @@ type Scheduler struct {
 	depth int
 	tr    *trace.Tracer
 
+	//iron:lockorder 20 scheduler queue lock nests under any FS lock via device calls
 	mu    sync.Mutex
 	queue map[int64][]byte
 	head  int64

@@ -1,9 +1,14 @@
 #!/usr/bin/env sh
 # Pre-merge gate: formatting, vet, build, race-enabled tests, and ironvet
-# (the error-propagation analyzer; see docs/ANALYSIS.md). ironvet analyzes
-# the whole module, so its lockcheck also guards the sched and bcache
-# concurrency code (no mutex held across direct device I/O without a
-# waiver). Run from anywhere inside the repository.
+# (the multi-pass crash-consistency analyzer suite; see docs/ANALYSIS.md).
+# ironvet analyzes the whole module: errprop and lockcheck guard error
+# propagation and lock/I-O discipline, txcheck pins metadata writes to the
+# journal machinery, degradecheck forbids success-before-commit-check
+# shapes, lockorder guards the sanctioned lock-acquisition order, and
+# tracecheck keeps phase functions observable. The suite is run twice and
+# the outputs compared: a nondeterministic analyzer would make the
+# self-check gate flaky, so determinism is itself a gate. Run from
+# anywhere inside the repository.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -17,6 +22,18 @@ fi
 go vet ./...
 go build ./...
 go test -race ./...
-go run ./cmd/ironvet ./...
+
+# ironvet self-check: findings gate the merge, then two more runs must
+# produce byte-identical JSON.
+vetdir=$(mktemp -d)
+trap 'rm -rf "$vetdir"' EXIT
+go build -o "$vetdir/ironvet" ./cmd/ironvet
+"$vetdir/ironvet" ./...
+"$vetdir/ironvet" -json ./... > "$vetdir/vet1.json"
+"$vetdir/ironvet" -json ./... > "$vetdir/vet2.json"
+cmp "$vetdir/vet1.json" "$vetdir/vet2.json" || {
+	echo "check: ironvet output is nondeterministic between identical runs" >&2
+	exit 1
+}
 
 echo "check: all gates passed"
