@@ -14,6 +14,12 @@
 //	ironcrash [-fs ext3|ext3-nobarrier|ixt3|reiserfs|jfs|ntfs|all]
 //	          [-workload mkfiles|churn|all] [-points N] [-window N]
 //	          [-samples N] [-seed N] [-depth N] [-short] [-v] [-trace FILE]
+//	          [-hunt-seed N] [-ops N]
+//
+// -hunt-seed swaps the named workloads for a deterministic sample of the
+// ironhunt generator's bounded syscall sequences (-ops caps the length),
+// so the structural matrix and the oracle hunt can be pointed at the same
+// corpus.
 //
 // -depth inserts the queued I/O scheduler between the file system and the
 // reordering write cache. At the default depth 1 the scheduler is a strict
@@ -39,6 +45,7 @@ import (
 	"ironfs/internal/faultinject"
 	"ironfs/internal/fingerprint"
 	"ironfs/internal/fstest"
+	"ironfs/internal/hunt"
 	"ironfs/internal/trace"
 )
 
@@ -53,6 +60,8 @@ func main() {
 	short := flag.Bool("short", false, "smoke mode: few crash points, small windows")
 	verbose := flag.Bool("v", false, "print the first silently corrupt state per cell")
 	traceFile := flag.String("trace", "", "dump workload and per-state evidence traces as NDJSON to FILE (- for stdout)")
+	huntSeed := flag.Int64("hunt-seed", 0, "replace named workloads with sequences from the ironhunt generator at this seed")
+	huntOps := flag.Int("ops", 0, "-hunt-seed: max ops per generated sequence (default 3)")
 	flag.Parse()
 
 	var targets []fstest.ExploreTarget
@@ -67,8 +76,24 @@ func main() {
 		targets = []fstest.ExploreTarget{t}
 	}
 
+	huntMode := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "hunt-seed" || f.Name == "ops" {
+			huntMode = true
+		}
+	})
+
 	var workloads []fstest.ExploreWorkload
-	if *wlName == "all" {
+	if huntMode {
+		// Delegate workload construction to the shared hunt generator:
+		// a deterministic sample of its bounded syscall sequences, each
+		// explored as a regular structural workload.
+		n := 8
+		if *short {
+			n = 3
+		}
+		workloads = hunt.ExploreWorkloads(hunt.Bounds{MaxOps: *huntOps, Seed: *huntSeed}, n)
+	} else if *wlName == "all" {
 		workloads = fstest.Workloads()
 	} else {
 		for _, w := range fstest.Workloads() {

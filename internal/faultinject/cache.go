@@ -205,15 +205,27 @@ type CrashState struct {
 	Mask uint64
 	// Torn tears the newest surviving write.
 	Torn bool
+	// Sealed, when SealedKnown is set, is the number of sealed epochs at
+	// the crash instant: every logged write with Epoch < Sealed is durable
+	// regardless of Mask, and the pending window covers only trailing
+	// writes with Epoch >= Sealed. When SealedKnown is false the open
+	// epoch is inferred as log[Point].Epoch (the legacy mid-epoch model).
+	Sealed      int
+	SealedKnown bool
 }
 
-// String renders a state compactly for logs: "p42 m=1011 torn".
+// String renders a state compactly for logs: "p42 m=1011 torn" (with an
+// " s=N" sealed-epoch suffix for sealed-aware states).
 func (s CrashState) String() string {
+	seal := ""
+	if s.SealedKnown {
+		seal = fmt.Sprintf(" s=%d", s.Sealed)
+	}
 	t := ""
 	if s.Torn {
 		t = " torn"
 	}
-	return fmt.Sprintf("p%d m=%b%s", s.Point, s.Mask, t)
+	return fmt.Sprintf("p%d m=%b%s%s", s.Point, s.Mask, seal, t)
 }
 
 // pendingStart returns the log index of the first volatile write for a
@@ -221,15 +233,38 @@ func (s CrashState) String() string {
 // of its trailing writes are still in cache (earlier ones were evicted to
 // media as the cache filled).
 func pendingStart(log []WriteRecord, point, window int) int {
-	e := log[point].Epoch
-	first := point
-	for first > 0 && log[first-1].Epoch == e {
+	return pendingStartSealed(log, point, window, log[point].Epoch)
+}
+
+// pendingStartSealed is pendingStart with the sealed-epoch count made
+// explicit: writes with Epoch < sealed are durable, so the pending window
+// is the trailing run of writes at or after epoch `sealed`, capped at
+// `window`. It may return point+1 (empty window) when log[point] itself is
+// already sealed — the post-fsync-return crash where nothing is volatile.
+func pendingStartSealed(log []WriteRecord, point, window, sealed int) int {
+	first := point + 1
+	for first > 0 && log[first-1].Epoch >= sealed {
 		first--
 	}
-	if point-first+1 > window {
+	if point+1-first > window {
 		first = point + 1 - window
 	}
 	return first
+}
+
+// EpochSeals returns, for each epoch present in the log, the index of its
+// final write — the persistence points where a barrier (or end-of-workload)
+// seals an epoch. Crashing at seal index i with the legacy enumeration
+// explores every ordering of that epoch's in-cache writes; prefix masks
+// double as crashes earlier inside the epoch.
+func EpochSeals(log []WriteRecord) []int {
+	var seals []int
+	for i := range log {
+		if i+1 == len(log) || log[i+1].Epoch != log[i].Epoch {
+			seals = append(seals, i)
+		}
+	}
+	return seals
 }
 
 // EnumerateCrashStates returns the crash states to test for a crash at
@@ -237,12 +272,31 @@ func pendingStart(log []WriteRecord, point, window int) int {
 // nothing survives (prefix cut), everything survives, and each drop-one —
 // are always present; small windows are exhausted, large ones sampled.
 func EnumerateCrashStates(log []WriteRecord, point int, p EnumPolicy) []CrashState {
-	p = p.withDefaults()
 	if point < 0 || point >= len(log) {
 		return nil
 	}
-	first := pendingStart(log, point, p.Window)
-	n := point - first + 1
+	return enumerateStates(log, point, log[point].Epoch, false, p)
+}
+
+// EnumerateCrashStatesSealed is EnumerateCrashStates with the sealed-epoch
+// count at the crash instant made explicit, for crash points where the
+// caller knows how many barriers had completed — e.g. "just after fsync
+// returned". With every write at or before point already sealed the pending
+// window is empty and the single returned state is the fully-durable image;
+// a non-empty window here means writes the file system claimed durable were
+// still volatile, and its subsets are enumerated exactly like open-epoch
+// tails.
+func EnumerateCrashStatesSealed(log []WriteRecord, point, sealed int, p EnumPolicy) []CrashState {
+	if point < 0 || point >= len(log) {
+		return nil
+	}
+	return enumerateStates(log, point, sealed, true, p)
+}
+
+func enumerateStates(log []WriteRecord, point, sealed int, stamp bool, p EnumPolicy) []CrashState {
+	p = p.withDefaults()
+	first := pendingStartSealed(log, point, p.Window, sealed)
+	n := point + 1 - first
 
 	full := uint64(1)<<n - 1
 	seen := map[uint64]bool{}
@@ -275,9 +329,15 @@ func EnumerateCrashStates(log []WriteRecord, point int, p EnumPolicy) []CrashSta
 
 	out := make([]CrashState, 0, 2*len(masks))
 	for _, m := range masks {
-		out = append(out, CrashState{Point: point, Mask: m})
+		st := CrashState{Point: point, Mask: m}
+		if stamp {
+			st.Sealed, st.SealedKnown = sealed, true
+		}
+		out = append(out, st)
 		if p.Torn && m != 0 {
-			out = append(out, CrashState{Point: point, Mask: m, Torn: true})
+			torn := st
+			torn.Torn = true
+			out = append(out, torn)
 		}
 	}
 	return out
@@ -302,7 +362,11 @@ func ApplyCrashStateTo(img []byte, blockSize int, log []WriteRecord, s CrashStat
 	if s.Point < 0 || s.Point >= len(log) {
 		return
 	}
-	first := pendingStart(log, s.Point, p.Window)
+	sealed := log[s.Point].Epoch
+	if s.SealedKnown {
+		sealed = s.Sealed
+	}
+	first := pendingStartSealed(log, s.Point, p.Window, sealed)
 
 	// Durable prefix: sealed epochs plus the evicted head of the open one.
 	for i := 0; i < first; i++ {

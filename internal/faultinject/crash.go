@@ -57,6 +57,24 @@ func NewCrashDevice(dev disk.Device, limit int64) *CrashDevice {
 // through, so file systems above a crash device stay wired.
 func (c *CrashDevice) Tracer() *trace.Tracer { return trace.Of(c.inner) }
 
+// SetLimit re-arms the crash point relative to now: the device will crash
+// after n more successful block writes (n >= 0), or never when n < 0. It
+// lets a harness run setup traffic uncrashed, then arm the crash so it
+// lands inside a specific window — e.g. an fsck repair transaction. A
+// device that has already crashed stays crashed.
+func (c *CrashDevice) SetLimit(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return
+	}
+	if n < 0 {
+		c.limit = -1
+		return
+	}
+	c.limit = c.written + n
+}
+
 // Crashed reports whether the crash point has been reached.
 func (c *CrashDevice) Crashed() bool {
 	c.mu.Lock()

@@ -22,8 +22,11 @@ func crashGeom(o fs.Options) fs.Options {
 	return o
 }
 
-// crashTarget builds one ExploreTarget from the registry.
-func crashTarget(label, name string, opts fs.Options) fstest.ExploreTarget {
+// ExploreTargetFor builds one ExploreTarget from the registry. It is THE
+// shared constructor: the crash-exploration matrix, the hunt targets, and
+// any future harness binding a registered FS into fstest all go through
+// here — per-FS target definitions are not duplicated per tool.
+func ExploreTargetFor(label, name string, opts fs.Options) fstest.ExploreTarget {
 	checker, err := fs.NewChecker(name, opts)
 	if err != nil {
 		panic(err) // built-in names only
@@ -42,7 +45,13 @@ func crashTarget(label, name string, opts fs.Options) fstest.ExploreTarget {
 	}
 }
 
-// CrashTargets returns the crash-exploration matrix rows:
+// targetRow is one (label, registry name, options) matrix row.
+type targetRow struct {
+	label, name string
+	opts        fs.Options
+}
+
+// targetRows is the single source of truth for the crash/hunt matrix:
 //
 //	ext3           stock ordering (payload, barrier, commit)
 //	ext3-nobarrier stock ext3 on a cache that ignores flushes (§6.2)
@@ -52,15 +61,25 @@ func crashTarget(label, name string, opts fs.Options) fstest.ExploreTarget {
 // ext3-nobarrier vs ixt3 is the paper's headline pair: both run without
 // the payload/commit ordering point, but only ixt3 can tell a reordered
 // commit from a real one.
-func CrashTargets() []fstest.ExploreTarget {
-	return []fstest.ExploreTarget{
-		crashTarget("ext3", "ext3", crashGeom(fs.Options{})),
-		crashTarget("ext3-nobarrier", "ext3", crashGeom(fs.Options{NoBarrier: true})),
-		crashTarget("ixt3", "ixt3", crashGeom(fs.Options{Tc: true})),
-		crashTarget("reiserfs", "reiserfs", fs.Options{}),
-		crashTarget("jfs", "jfs", fs.Options{}),
-		crashTarget("ntfs", "ntfs", fs.Options{}),
+func targetRows() []targetRow {
+	return []targetRow{
+		{"ext3", "ext3", crashGeom(fs.Options{})},
+		{"ext3-nobarrier", "ext3", crashGeom(fs.Options{NoBarrier: true})},
+		{"ixt3", "ixt3", crashGeom(fs.Options{Tc: true})},
+		{"reiserfs", "reiserfs", fs.Options{}},
+		{"jfs", "jfs", fs.Options{}},
+		{"ntfs", "ntfs", fs.Options{}},
 	}
+}
+
+// CrashTargets returns the crash-exploration matrix rows (see targetRows).
+func CrashTargets() []fstest.ExploreTarget {
+	rows := targetRows()
+	out := make([]fstest.ExploreTarget, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, ExploreTargetFor(r.label, r.name, r.opts))
+	}
+	return out
 }
 
 // CrashTargetByName finds one crash target.
@@ -71,4 +90,41 @@ func CrashTargetByName(name string) (fstest.ExploreTarget, error) {
 		}
 	}
 	return fstest.ExploreTarget{}, fmt.Errorf("unknown crash target %q", name)
+}
+
+// HuntTarget is one hunt-matrix row: the fstest binding plus the registry
+// coordinates (name + options) the fsck crash-idempotence mode needs to
+// mount and repair the same configuration through the fs registry.
+type HuntTarget struct {
+	// Target is the fstest binding (label, mkfs, mount, oracle).
+	Target fstest.ExploreTarget
+	// FS is the registry name ("ext3", "ixt3", ...).
+	FS string
+	// Opts are the registry options the target was built with.
+	Opts fs.Options
+}
+
+// HuntTargets returns the hunt matrix — the same rows as CrashTargets,
+// with registry coordinates attached.
+func HuntTargets() []HuntTarget {
+	rows := targetRows()
+	out := make([]HuntTarget, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, HuntTarget{
+			Target: ExploreTargetFor(r.label, r.name, r.opts),
+			FS:     r.name,
+			Opts:   r.opts,
+		})
+	}
+	return out
+}
+
+// HuntTargetByName finds one hunt target by its label.
+func HuntTargetByName(name string) (HuntTarget, error) {
+	for _, t := range HuntTargets() {
+		if t.Target.Name == name {
+			return t, nil
+		}
+	}
+	return HuntTarget{}, fmt.Errorf("unknown hunt target %q", name)
 }

@@ -7,6 +7,7 @@ import (
 
 	"ironfs/internal/bcache"
 	"ironfs/internal/disk"
+	"ironfs/internal/fsck"
 	"ironfs/internal/iron"
 	"ironfs/internal/trace"
 	"ironfs/internal/vfs"
@@ -25,6 +26,9 @@ type FS struct {
 	opts Options
 	rec  *iron.Recorder
 	tr   *trace.Tracer
+	// repairHooks bracket fsck repair transactions (crash-idempotence
+	// harness); set before repair traffic via SetRepairHooks.
+	repairHooks *fsck.RepairHooks
 
 	//iron:lockorder 10 the per-FS big lock is always outermost
 	mu          sync.RWMutex

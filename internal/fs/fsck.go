@@ -46,6 +46,23 @@ func AsRepairer(fsys vfs.FileSystem) (Repairer, bool) {
 	return r, ok
 }
 
+// RepairHooker is implemented by file systems whose repair transactions
+// can be bracketed with harness hooks (the ironhunt fsck
+// crash-idempotence mode). All five built-ins implement it.
+type RepairHooker interface {
+	SetRepairHooks(*fsck.RepairHooks)
+}
+
+// SetRepairHooks installs repair hooks on fsys if it supports them, and
+// reports whether it did.
+func SetRepairHooks(fsys vfs.FileSystem, h *fsck.RepairHooks) bool {
+	r, ok := fsys.(RepairHooker)
+	if ok {
+		r.SetRepairHooks(h)
+	}
+	return ok
+}
+
 // FsckConfig selects how Fsck runs.
 type FsckConfig struct {
 	// Parallel is the worker count for the check's verify stages; <= 1

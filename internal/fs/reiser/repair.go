@@ -43,7 +43,10 @@ func (fs *FS) Repair() (fsck.Report, error) {
 		return rep, nil
 	}
 	fs.tr.Phase("fsck:reconcile", fmt.Sprintf("problems=%d", len(probs)))
-	if err := fs.repairLocked(); err != nil {
+	fs.repairHooks.EnterRepair()
+	err = fs.repairLocked()
+	fs.repairHooks.ExitRepair()
+	if err != nil {
 		fs.discardRepairLocked()
 		rep.Unrecovered = probs
 		return rep, err
@@ -185,4 +188,15 @@ func (fs *FS) discardRepairLocked() {
 	fs.tx = newTxn()
 	fs.sbDirty = false
 	fs.panicFS(BTBitmap, "consistency repair failed mid-pass")
+}
+
+// SetRepairHooks installs hooks bracketing future repair transactions
+// (nil uninstalls). Harness-only: install while the volume is quiet, not
+// during a concurrent repair.
+//
+//iron:traceok hook installer, not a repair phase: runs while the volume is quiet and touches no blocks
+func (fs *FS) SetRepairHooks(h *fsck.RepairHooks) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.repairHooks = h
 }

@@ -49,8 +49,11 @@ type ExploreWorkload struct {
 }
 
 // Workloads returns the standard exploration workloads: "mkfiles" (create,
-// write, fsync ×3 — the journal commit path) and "churn" (mkdir, create,
-// rename, unlink — the metadata-heavy path).
+// write, fsync ×3 — the journal commit path), "churn" (mkdir, create,
+// rename, unlink — the metadata-heavy path), plus the hunt-generator
+// vocabulary cases: "renameover" (rename onto an existing target),
+// "linkchurn" (hard-link then unlink the source), and "appendsync"
+// (append after an fsync, splitting the file's durability across commits).
 func Workloads() []ExploreWorkload {
 	return []ExploreWorkload{
 		{Name: "mkfiles", Run: func(fs vfs.FileSystem) error {
@@ -77,6 +80,66 @@ func Workloads() []ExploreWorkload {
 				return err
 			}
 			return fs.Sync()
+		}},
+		{Name: "renameover", Run: func(fs vfs.FileSystem) error {
+			// Both names exist and are fsync'd, then the source is renamed
+			// over the target: the target's old inode must be replaced
+			// atomically, never half-gone.
+			for i, p := range []string{"/old", "/new"} {
+				if err := fs.Create(p, 0o644); err != nil {
+					return err
+				}
+				if _, err := fs.Write(p, 0, crashPayload(i)); err != nil {
+					return err
+				}
+				if err := fs.Fsync(p); err != nil {
+					return err
+				}
+			}
+			if err := fs.Rename("/old", "/new"); err != nil {
+				return err
+			}
+			return fs.Sync()
+		}},
+		{Name: "linkchurn", Run: func(fs vfs.FileSystem) error {
+			// Hard-link then unlink the source: the inode survives under
+			// the second name, so its data must never ride on the first
+			// name's fate.
+			if err := fs.Create("/src", 0o644); err != nil {
+				return err
+			}
+			if _, err := fs.Write("/src", 0, crashPayload(0)); err != nil {
+				return err
+			}
+			if err := fs.Link("/src", "/dst"); err != nil {
+				return err
+			}
+			if err := fs.Fsync("/src"); err != nil {
+				return err
+			}
+			if err := fs.Unlink("/src"); err != nil {
+				return err
+			}
+			return fs.Sync()
+		}},
+		{Name: "appendsync", Run: func(fs vfs.FileSystem) error {
+			// Append after an fsync: the first commit covers the head of
+			// the file, the second the tail — a crash between them must
+			// keep the fsync'd head intact.
+			if err := fs.Create("/log", 0o644); err != nil {
+				return err
+			}
+			head := crashPayload(0)
+			if _, err := fs.Write("/log", 0, head); err != nil {
+				return err
+			}
+			if err := fs.Fsync("/log"); err != nil {
+				return err
+			}
+			if _, err := fs.Write("/log", int64(len(head)), crashPayload(1)); err != nil {
+				return err
+			}
+			return fs.Fsync("/log")
 		}},
 	}
 }
@@ -234,18 +297,8 @@ func Explore(t ExploreTarget, w ExploreWorkload, cfg ExploreConfig) (*ExploreRes
 	}
 
 	// Pick crash points: every Stride-th write, evenly thinned to
-	// MaxPoints if capped.
-	var points []int
-	for i := 0; i < len(log); i += cfg.Stride {
-		points = append(points, i)
-	}
-	if cfg.MaxPoints > 0 && len(points) > cfg.MaxPoints {
-		thinned := make([]int, 0, cfg.MaxPoints)
-		for i := 0; i < cfg.MaxPoints; i++ {
-			thinned = append(thinned, points[i*len(points)/cfg.MaxPoints])
-		}
-		points = thinned
-	}
+	// MaxPoints if capped (shared with the hunt harness).
+	points := SelectPoints(log, PointPolicy{Stride: cfg.Stride, MaxPoints: cfg.MaxPoints})
 
 	// Enumerate up front so states can be partitioned over workers.
 	var states []faultinject.CrashState

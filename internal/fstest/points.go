@@ -1,0 +1,55 @@
+package fstest
+
+import "ironfs/internal/faultinject"
+
+// Crash-point selection, shared between the legacy explorer (Explore) and
+// the generated-workload hunter (internal/hunt): both walk a CacheDevice
+// write log and decide which log indices to crash at. Explore samples the
+// raw write stream; the hunter concentrates on persistence points — the
+// final write of each epoch, where a barrier seals the cache.
+
+// PointPolicy bounds crash-point selection over a write log.
+type PointPolicy struct {
+	// Stride samples every Nth candidate (default 1).
+	Stride int
+	// MaxPoints caps the selection (0 = all). Points are spread evenly
+	// over the candidate list when capped.
+	MaxPoints int
+	// SealsOnly restricts candidates to epoch-final writes (the
+	// barrier/epoch-seal persistence points) instead of every write.
+	SealsOnly bool
+}
+
+// SelectPoints picks the crash points to explore from a write log:
+// candidates (every write, or every epoch seal under SealsOnly) strided by
+// Stride and thinned evenly to MaxPoints. Deterministic for a fixed log
+// and policy.
+func SelectPoints(log []faultinject.WriteRecord, p PointPolicy) []int {
+	if len(log) == 0 {
+		return nil
+	}
+	if p.Stride <= 0 {
+		p.Stride = 1
+	}
+	var candidates []int
+	if p.SealsOnly {
+		candidates = faultinject.EpochSeals(log)
+	} else {
+		candidates = make([]int, 0, len(log))
+		for i := 0; i < len(log); i++ {
+			candidates = append(candidates, i)
+		}
+	}
+	var points []int
+	for i := 0; i < len(candidates); i += p.Stride {
+		points = append(points, candidates[i])
+	}
+	if p.MaxPoints > 0 && len(points) > p.MaxPoints {
+		thinned := make([]int, 0, p.MaxPoints)
+		for i := 0; i < p.MaxPoints; i++ {
+			thinned = append(thinned, points[i*len(points)/p.MaxPoints])
+		}
+		points = thinned
+	}
+	return points
+}

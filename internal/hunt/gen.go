@@ -1,0 +1,155 @@
+package hunt
+
+import (
+	"math/rand"
+	"sort"
+
+	"ironfs/internal/faultinject"
+)
+
+// The name/data domain. Three file names (one nested under the single
+// directory), one directory, two payload size classes: small enough that
+// bounded sequences stay enumerable, rich enough to express every pattern
+// in the vocabulary — rename-over-existing, hard-link-then-unlink-source,
+// append-after-fsync, fsync-of-file vs fsync-of-parent-dir vs sync.
+// basePath is listed first: it pre-exists (see the baseline in op.go), so
+// ops against it — overwrite, rename-away, unlink — pit the sequence
+// against an already-durable guarantee.
+var (
+	domFiles = []string{basePath, "/a", "/b", "/d/c"}
+	domDirs  = []string{"/d"}
+	domSels  = []int{0, 1}
+)
+
+// Bounds bound the generated workload space.
+type Bounds struct {
+	// MaxOps caps the sequence length (default 3).
+	MaxOps int
+	// MaxSeqs samples that many sequences from the full enumeration with
+	// a seeded shuffle (enumeration order preserved). Default 400 —
+	// MaxOps=3 enumerates ~2100 sequences, more than a default run
+	// should replay; negative means no sampling.
+	MaxSeqs int
+	// Seed drives the sample (default faultinject.DefaultSeed).
+	Seed int64
+}
+
+func (b Bounds) withDefaults() Bounds {
+	if b.MaxOps <= 0 {
+		b.MaxOps = 3
+	}
+	if b.MaxSeqs == 0 {
+		b.MaxSeqs = 400
+	}
+	if b.Seed == 0 {
+		b.Seed = faultinject.DefaultSeed
+	}
+	return b
+}
+
+// candidates lists every op issuable in the current model state, in a
+// fixed deterministic order (kind-major, domain order within a kind).
+func candidates(t *tree) []Op {
+	var ops []Op
+	for _, p := range domFiles {
+		if op := (Op{Kind: OpCreate, Path: p}); t.valid(op) {
+			ops = append(ops, op)
+		}
+	}
+	for _, p := range domDirs {
+		if op := (Op{Kind: OpMkdir, Path: p}); t.valid(op) {
+			ops = append(ops, op)
+		}
+	}
+	for _, kind := range []OpKind{OpWrite, OpAppend} {
+		for _, p := range domFiles {
+			for _, sel := range domSels {
+				if op := (Op{Kind: kind, Path: p, Data: sel}); t.valid(op) {
+					ops = append(ops, op)
+				}
+			}
+		}
+	}
+	for _, src := range domFiles {
+		for _, dst := range domFiles {
+			if op := (Op{Kind: OpRename, Path: src, Path2: dst}); t.valid(op) {
+				ops = append(ops, op)
+			}
+		}
+	}
+	for _, src := range domFiles {
+		for _, dst := range domFiles {
+			if op := (Op{Kind: OpLink, Path: src, Path2: dst}); t.valid(op) {
+				ops = append(ops, op)
+			}
+		}
+	}
+	for _, p := range domFiles {
+		if op := (Op{Kind: OpUnlink, Path: p}); t.valid(op) {
+			ops = append(ops, op)
+		}
+	}
+	for _, p := range append([]string{"/"}, append(append([]string{}, domDirs...), domFiles...)...) {
+		if op := (Op{Kind: OpFsync, Path: p}); t.valid(op) {
+			ops = append(ops, op)
+		}
+	}
+	ops = append(ops, Op{Kind: OpSync})
+	return ops
+}
+
+// interesting keeps sequences worth crash-testing: at least one mutation
+// (something to lose) and at least one persistence op (a durability
+// guarantee to check — pure-mutation tails are the legacy explorer's
+// beat, and a lone sync on an empty tree produces no writes at all).
+func interesting(s Sequence) bool {
+	mutates, persists := false, false
+	for _, op := range s {
+		switch op.Kind {
+		case OpFsync, OpSync:
+			persists = true
+		default:
+			mutates = true
+		}
+	}
+	return mutates && persists
+}
+
+// Sequences enumerates every valid, interesting op sequence of length <=
+// b.MaxOps over the domain, depth-first in candidate order — fully
+// deterministic — then applies the seeded MaxSeqs sample if set.
+func Sequences(b Bounds) []Sequence {
+	b = b.withDefaults()
+	var all []Sequence
+	var cur Sequence
+	var walk func(t *tree)
+	walk = func(t *tree) {
+		if len(cur) > 0 && interesting(cur) {
+			seq := make(Sequence, len(cur))
+			copy(seq, cur)
+			all = append(all, seq)
+		}
+		if len(cur) == b.MaxOps {
+			return
+		}
+		for _, op := range candidates(t) {
+			next := t.clone()
+			next.apply(op, len(cur))
+			cur = append(cur, op)
+			walk(next)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	walk(newTree())
+	if b.MaxSeqs > 0 && len(all) > b.MaxSeqs {
+		rng := rand.New(rand.NewSource(b.Seed))
+		pick := rng.Perm(len(all))[:b.MaxSeqs]
+		sort.Ints(pick)
+		sampled := make([]Sequence, 0, b.MaxSeqs)
+		for _, i := range pick {
+			sampled = append(sampled, all[i])
+		}
+		all = sampled
+	}
+	return all
+}

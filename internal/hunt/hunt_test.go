@@ -1,0 +1,166 @@
+package hunt
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"ironfs/internal/fingerprint"
+)
+
+// quickCfg is the CI smoke configuration: length <= 2, full enumeration.
+func quickCfg() Config {
+	return Config{Bounds: Bounds{MaxOps: 2, MaxSeqs: -1}}
+}
+
+// nobarrierQuick runs the ext3-nobarrier quick hunt once and shares the
+// result across the tests that interrogate it.
+var (
+	nobarrierOnce sync.Once
+	nobarrierRes  *TargetResult
+	nobarrierErr  error
+)
+
+func nobarrierQuick(t *testing.T) *TargetResult {
+	t.Helper()
+	nobarrierOnce.Do(func() {
+		ht, err := fingerprint.HuntTargetByName("ext3-nobarrier")
+		if err != nil {
+			nobarrierErr = err
+			return
+		}
+		nobarrierRes, nobarrierErr = Run(ht.Target, quickCfg())
+	})
+	if nobarrierErr != nil {
+		t.Fatal(nobarrierErr)
+	}
+	return nobarrierRes
+}
+
+// Acceptance (a): the oracle — not just the structural check — must flag
+// ext3-nobarrier's silent-corruption class at the default seed and quick
+// bounds, and the dedup/minimize pipeline must surface it as bugs with
+// non-empty repro sequences.
+func TestNobarrierLossFlagged(t *testing.T) {
+	res := nobarrierQuick(t)
+	if res.LossDetected+res.LossSilent == 0 {
+		t.Fatalf("ext3-nobarrier: no loss verdicts at quick bounds: %s", res)
+	}
+	if len(res.Bugs) == 0 {
+		t.Fatalf("ext3-nobarrier: loss verdicts but no deduplicated bugs: %s", res)
+	}
+	for _, b := range res.Bugs {
+		if len(b.Repro.Seq) == 0 {
+			t.Errorf("bug %s: empty repro sequence", b.Fingerprint)
+		}
+		if b.Target != "ext3-nobarrier" || b.Repro.Target != "ext3-nobarrier" {
+			t.Errorf("bug %s: wrong target %s/%s", b.Fingerprint, b.Target, b.Repro.Target)
+		}
+	}
+}
+
+// Acceptance (b): ixt3 (Tc transactional checksums) must show zero
+// undetected loss — in fact zero loss and zero structural damage — at the
+// same bounds; plain ext3 with barriers likewise.
+func TestCheckedFileSystemsClean(t *testing.T) {
+	for _, name := range []string{"ext3", "ixt3"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ht, err := fingerprint.HuntTargetByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(ht.Target, quickCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.LossDetected+res.LossSilent != 0 || res.StructDetected+res.StructSilent != 0 || len(res.Bugs) != 0 {
+				t.Errorf("%s: expected a clean hunt, got %s", name, res)
+			}
+		})
+	}
+}
+
+// Acceptance (c): two independent runs at the same seed must serialize to
+// byte-identical JSON — the CI gate diffs exactly this.
+func TestHuntJSONDeterministic(t *testing.T) {
+	first := nobarrierQuick(t)
+	ht, err := fingerprint.HuntTargetByName("ext3-nobarrier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(ht.Target, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := json.Marshal(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("two runs serialized differently:\n%s\n%s", a, b)
+	}
+}
+
+// Every emitted repro artifact must survive the encode/decode round trip
+// and replay to the recorded verdict.
+func TestReproArtifactRoundTrip(t *testing.T) {
+	res := nobarrierQuick(t)
+	ht, err := fingerprint.HuntTargetByName("ext3-nobarrier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bugs := res.Bugs
+	if len(bugs) > 6 {
+		bugs = bugs[:6]
+	}
+	for _, b := range bugs {
+		data, err := EncodeRepro(b.Repro)
+		if err != nil {
+			t.Fatalf("bug %s: encode: %v", b.Fingerprint, err)
+		}
+		r, err := DecodeRepro(data)
+		if err != nil {
+			t.Fatalf("bug %s: decode: %v", b.Fingerprint, err)
+		}
+		rr, err := ReplayRepro(ht.Target, r, 0)
+		if err != nil {
+			t.Fatalf("bug %s: replay: %v", b.Fingerprint, err)
+		}
+		if !rr.Match {
+			t.Errorf("bug %s: replay verdict %s/%s, artifact says %s/%s",
+				b.Fingerprint, rr.Verdict, rr.Symptom, r.Verdict, r.Symptom)
+		}
+	}
+}
+
+// The -fsck mode's own guarantee: mid-repair crashes exercised on every
+// file system converge back to a clean volume with no data loss.
+func TestFsckCrashIdempotence(t *testing.T) {
+	seen := map[string]bool{}
+	for _, ht := range fingerprint.HuntTargets() {
+		if seen[ht.FS] {
+			continue
+		}
+		seen[ht.FS] = true
+		ht := ht
+		t.Run(ht.FS, func(t *testing.T) {
+			t.Parallel()
+			res, err := RunFsck(ht.FS, ht.Opts, FsckBounds{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Crashes == 0 {
+				t.Errorf("%s: repair crashed zero times — the injector found nothing to do", ht.FS)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("%s: %s (crash %d): %s", ht.FS, v.Kind, v.Crash, v.Detail)
+			}
+		})
+	}
+}

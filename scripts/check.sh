@@ -36,4 +36,25 @@ cmp "$vetdir/vet1.json" "$vetdir/vet2.json" || {
 	exit 1
 }
 
+# ironhunt quick gate (docs/HUNT.md): at the fixed default seed the
+# bounded corpus must hunt ixt3 clean, flag ext3-nobarrier through the
+# expected-state oracle (exit 1 = bugs found), and two runs must emit
+# byte-identical JSON.
+go build -o "$vetdir/ironhunt" ./cmd/ironhunt
+"$vetdir/ironhunt" -quick -fs ixt3 > /dev/null || {
+	echo "check: ironhunt found violations on ixt3" >&2
+	exit 1
+}
+code=0
+"$vetdir/ironhunt" -quick -fs ext3-nobarrier -json > "$vetdir/hunt1.json" || code=$?
+if [ "$code" -ne 1 ]; then
+	echo "check: ironhunt did not flag ext3-nobarrier (exit $code)" >&2
+	exit 1
+fi
+"$vetdir/ironhunt" -quick -fs ext3-nobarrier -json > "$vetdir/hunt2.json" || true
+cmp "$vetdir/hunt1.json" "$vetdir/hunt2.json" || {
+	echo "check: ironhunt output is nondeterministic between identical runs" >&2
+	exit 1
+}
+
 echo "check: all gates passed"
