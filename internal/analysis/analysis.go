@@ -171,6 +171,13 @@ type Config struct {
 	RecorderPkg     string
 	RecorderType    string
 	RecorderMethods []string
+	// StatPkg/StatTypes/StatEmitMethods identify the live-metrics layer:
+	// recording into a metric handle (counter increment, histogram
+	// observation) counts as observable emission for tracecheck, so a
+	// phase that shows up in metrics is not flagged as silent.
+	StatPkg         string
+	StatTypes       []string
+	StatEmitMethods []string
 	// PhaseHints are lowercase substrings of function names that mark a
 	// function as a journal/dispatch/repair phase tracecheck audits.
 	PhaseHints []string
@@ -202,6 +209,9 @@ func DefaultConfig() Config {
 		RecorderPkg:      "ironfs/internal/iron",
 		RecorderType:     "Recorder",
 		RecorderMethods:  []string{"Detect", "Recover"},
+		StatPkg:          "ironfs/internal/stat",
+		StatTypes:        []string{"Counter", "Gauge", "Histogram"},
+		StatEmitMethods:  []string{"Inc", "Add", "Set", "Observe"},
 		PhaseHints: []string{
 			"commit", "checkpoint", "replay", "scrub", "repair",
 			"dispatch", "drain", "coalesce",

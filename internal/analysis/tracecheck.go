@@ -17,9 +17,11 @@ import (
 // every function in the module eventually reaches the disk layer, whose
 // tracer hooks would make a module-wide closure vacuously satisfy the
 // rule. A phase either calls a Tracer emit method / an iron.Recorder
-// Detect/Recover (mirrored into the trace by the recorder bridge) itself,
-// or delegates to a sibling that does. Intentionally silent phases carry
-// //iron:traceok with a justification.
+// Detect/Recover (mirrored into the trace by the recorder bridge) / a
+// stat metric-recording method (Config.StatEmitMethods on a
+// Config.StatTypes handle — the live-metrics pillar counts as
+// observability too) itself, or delegates to a sibling that does.
+// Intentionally silent phases carry //iron:traceok with a justification.
 func runTracecheck(ctx *passContext) []Finding {
 	cfg := ctx.cfg
 	if cfg.TracePkg == "" {
@@ -32,6 +34,10 @@ func runTracecheck(ctx *passContext) []Finding {
 	recorderMethods := map[string]bool{}
 	for _, m := range cfg.RecorderMethods {
 		recorderMethods[m] = true
+	}
+	statMethods := map[string]bool{}
+	for _, m := range cfg.StatEmitMethods {
+		statMethods[m] = true
 	}
 
 	// Traced subsystems: packages importing the trace package (the trace
@@ -83,6 +89,14 @@ func runTracecheck(ctx *passContext) []Finding {
 			}
 			if recorderMethods[callee.Name()] && recvNamed(selection.Recv(), cfg.RecorderPkg, cfg.RecorderType) {
 				found = true
+			}
+			if statMethods[callee.Name()] {
+				for _, st := range cfg.StatTypes {
+					if recvNamed(selection.Recv(), cfg.StatPkg, st) {
+						found = true
+						break
+					}
+				}
 			}
 			return true
 		})

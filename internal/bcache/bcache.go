@@ -15,9 +15,11 @@ package bcache
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"ironfs/internal/stat"
 	"ironfs/internal/trace"
 )
 
@@ -69,6 +71,9 @@ type shard struct {
 	entries map[int64]*entry
 	lru     *list.List // front = most recent; values are *entry
 	stats   Stats
+	// Live-metrics handles, per shard so the snapshot shows skew across
+	// shards, resolved once at construction.
+	mHit, mMiss, mEvict *stat.Counter
 }
 
 type entry struct {
@@ -98,7 +103,14 @@ func NewSharded(capBlocks, shards int) *Cache {
 	}
 	c := &Cache{shards: make([]shard, shards)}
 	for i := range c.shards {
-		c.shards[i] = shard{cap: perShard, entries: make(map[int64]*entry), lru: list.New()}
+		// Zero-padded shard labels keep snapshot keys sorted numerically.
+		lbl := fmt.Sprintf("%02d", i)
+		c.shards[i] = shard{
+			cap: perShard, entries: make(map[int64]*entry), lru: list.New(),
+			mHit:   stat.C("bcache_ops_total", "op", "hit", "shard", lbl),
+			mMiss:  stat.C("bcache_ops_total", "op", "miss", "shard", lbl),
+			mEvict: stat.C("bcache_ops_total", "op", "evict", "shard", lbl),
+		}
 	}
 	return c
 }
@@ -126,11 +138,13 @@ func (c *Cache) Get(n int64) []byte {
 	if !ok {
 		s.stats.Misses++
 		s.mu.Unlock()
+		s.mMiss.Inc()
 		c.tr.Load().Buffer(trace.KindMiss, n)
 		return nil
 	}
 	s.lru.MoveToFront(e.elem)
 	s.stats.Hits++
+	s.mHit.Inc()
 	data := e.data
 	s.mu.Unlock()
 	c.tr.Load().Buffer(trace.KindHit, n)
@@ -157,6 +171,9 @@ func (c *Cache) Put(n int64, data []byte, dirty bool) {
 	s.stats.Inserts++
 	evicted := s.evictLocked()
 	s.mu.Unlock()
+	if len(evicted) > 0 {
+		s.mEvict.Add(int64(len(evicted)))
+	}
 	if tr := c.tr.Load(); tr.Enabled() {
 		for _, blk := range evicted {
 			tr.Buffer(trace.KindEvict, blk)

@@ -114,3 +114,14 @@ func (s Stats) Sub(prev Stats) Stats {
 		BusyTime:     s.BusyTime - prev.BusyTime,
 	}
 }
+
+// ClockOf returns the simulated clock behind a device stack: the raw
+// Disk exposes it directly and every wrapper layer forwards it. It
+// returns nil when no layer in the stack carries a clock (a test
+// double, say); callers recording wait-time metrics skip them then.
+func ClockOf(dev Device) *Clock {
+	if p, ok := dev.(interface{ Clock() *Clock }); ok {
+		return p.Clock()
+	}
+	return nil
+}

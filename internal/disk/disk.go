@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"ironfs/internal/stat"
 	"ironfs/internal/trace"
 )
 
@@ -71,6 +72,29 @@ type Disk struct {
 	// tr, when set, receives a mechanical-layer event per serviced I/O.
 	// A nil tracer costs nothing on the hot path (the Table 6 bar).
 	tr *trace.Tracer
+	// st holds the live-metrics handles, resolved once at construction
+	// from the process-wide registry (see internal/stat).
+	st diskMetrics
+}
+
+// diskMetrics are the disk's live-metrics handles: exact service-time
+// distributions per op type plus barrier/batch counts. Service time here
+// includes command overhead, seek, rotation, and transfer — the full
+// mechanical cost charged to the virtual clock.
+type diskMetrics struct {
+	readSvc  *stat.Histogram
+	writeSvc *stat.Histogram
+	barriers *stat.Counter
+	batches  *stat.Counter
+}
+
+func newDiskMetrics() diskMetrics {
+	return diskMetrics{
+		readSvc:  stat.H("disk_svc_ns", "op", "read"),
+		writeSvc: stat.H("disk_svc_ns", "op", "write"),
+		barriers: stat.C("disk_ops_total", "op", "barrier"),
+		batches:  stat.C("disk_ops_total", "op", "batch"),
+	}
 }
 
 // New returns a simulated disk of the given number of blocks using the
@@ -92,6 +116,7 @@ func New(numBlocks int64, geom Geometry, clock *Clock) (*Disk, error) {
 		tracks:   tracks,
 		bufTrack: -1,
 		data:     make([]byte, numBlocks*int64(geom.BlockSize)),
+		st:       newDiskMetrics(),
 	}, nil
 }
 
@@ -147,6 +172,7 @@ func (d *Disk) Barrier() error {
 		return ErrClosed
 	}
 	d.stats.Barriers++
+	d.st.barriers.Inc()
 	if d.tr.Enabled() {
 		d.tr.Barrier(trace.LayerDisk, int64(d.clock.Now()), 0, 0)
 	}
@@ -225,16 +251,14 @@ func (d *Disk) ReadBlock(n int64, buf []byte) error {
 	if err := d.check(n, buf); err != nil {
 		return err
 	}
-	var start Duration
-	if d.tr.Enabled() {
-		start = d.clock.Now()
-	}
+	start := d.clock.Now()
 	d.clock.Advance(d.geom.CmdOverhead)
 	d.serviceReadLocked(n)
 	off := n * int64(d.geom.BlockSize)
 	copy(buf, d.data[off:off+int64(d.geom.BlockSize)])
 	d.stats.Reads++
 	d.stats.BytesRead += int64(d.geom.BlockSize)
+	d.st.readSvc.Observe(int64(d.clock.Now() - start))
 	if d.tr.Enabled() {
 		d.tr.IO(trace.LayerDisk, trace.KindRead, n, "", int64(start), int64(d.clock.Now()-start), nil)
 	}
@@ -248,16 +272,14 @@ func (d *Disk) WriteBlock(n int64, buf []byte) error {
 	if err := d.check(n, buf); err != nil {
 		return err
 	}
-	var start Duration
-	if d.tr.Enabled() {
-		start = d.clock.Now()
-	}
+	start := d.clock.Now()
 	d.clock.Advance(d.geom.CmdOverhead)
 	d.serviceLocked(n)
 	off := n * int64(d.geom.BlockSize)
 	copy(d.data[off:off+int64(d.geom.BlockSize)], buf)
 	d.stats.Writes++
 	d.stats.BytesWritten += int64(d.geom.BlockSize)
+	d.st.writeSvc.Observe(int64(d.clock.Now() - start))
 	if d.tr.Enabled() {
 		d.tr.IO(trace.LayerDisk, trace.KindWrite, n, "", int64(start), int64(d.clock.Now()-start), nil)
 	}
@@ -282,6 +304,7 @@ func (d *Disk) WriteBatch(reqs []Request) error {
 		if d.tr.Enabled() {
 			d.tr.Batch(int64(d.clock.Now()), len(reqs))
 		}
+		d.st.batches.Inc()
 		d.clock.Advance(d.geom.CmdOverhead)
 	}
 	for _, i := range order {
@@ -289,15 +312,13 @@ func (d *Disk) WriteBatch(reqs []Request) error {
 		if err := d.check(r.Block, r.Data); err != nil {
 			return err
 		}
-		var start Duration
-		if d.tr.Enabled() {
-			start = d.clock.Now()
-		}
+		start := d.clock.Now()
 		d.serviceLocked(r.Block)
 		off := r.Block * int64(d.geom.BlockSize)
 		copy(d.data[off:off+int64(d.geom.BlockSize)], r.Data)
 		d.stats.Writes++
 		d.stats.BytesWritten += int64(d.geom.BlockSize)
+		d.st.writeSvc.Observe(int64(d.clock.Now() - start))
 		if d.tr.Enabled() {
 			d.tr.IO(trace.LayerDisk, trace.KindWrite, r.Block, "", int64(start), int64(d.clock.Now()-start), nil)
 		}

@@ -392,3 +392,7 @@ func ApplyCrashStateTo(img []byte, blockSize int, log []WriteRecord, s CrashStat
 		copy(img[r.Block*int64(blockSize):], data)
 	}
 }
+
+// Clock forwards the simulated clock of the wrapped device, keeping
+// disk.ClockOf discovery working through the write cache.
+func (d *CacheDevice) Clock() *disk.Clock { return disk.ClockOf(d.inner) }

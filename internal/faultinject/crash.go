@@ -156,3 +156,7 @@ func (c *CrashDevice) NumBlocks() int64 { return c.inner.NumBlocks() }
 
 // Close implements disk.Device.
 func (c *CrashDevice) Close() error { return c.inner.Close() }
+
+// Clock forwards the simulated clock of the wrapped device, keeping
+// disk.ClockOf discovery working through the crash device.
+func (c *CrashDevice) Clock() *disk.Clock { return disk.ClockOf(c.inner) }

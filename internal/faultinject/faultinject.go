@@ -18,6 +18,7 @@ import (
 
 	"ironfs/internal/disk"
 	"ironfs/internal/iron"
+	"ironfs/internal/stat"
 	"ironfs/internal/trace"
 )
 
@@ -286,6 +287,13 @@ func (d *Device) defaultCorrupt(data []byte) {
 	d.mu.Unlock()
 }
 
+// noteFired counts a fault firing in the live-metrics registry, keyed
+// by fault class and the block type it hit. Firings are rare, so the
+// handle is resolved per event rather than cached.
+func noteFired(class iron.FaultClass, bt iron.BlockType) {
+	stat.C("fault_fired_total", "class", class.String(), "type", string(bt)).Inc()
+}
+
 // ReadBlock implements disk.Device: applies read-failure and corruption
 // faults. A read failure returns disk.ErrIO without touching the media; a
 // corruption reads the real data and then mutates the returned buffer.
@@ -297,6 +305,7 @@ func (d *Device) ReadBlock(n int64, buf []byte) error {
 	fail := d.matchLocked(iron.ReadFailure, bt, n)
 	d.mu.Unlock()
 	if fail != nil {
+		noteFired(iron.ReadFailure, bt)
 		d.tr.FaultFired(iron.ReadFailure, n, bt, fail.Sticky)
 		d.record(disk.OpRead, n, bt, true, disk.ErrIO, at, 0)
 		return disk.ErrIO
@@ -316,6 +325,7 @@ func (d *Device) ReadBlock(n int64, buf []byte) error {
 		} else {
 			d.defaultCorrupt(buf)
 		}
+		noteFired(iron.Corruption, bt)
 		d.tr.FaultFired(iron.Corruption, n, bt, corrupt.Sticky)
 		d.record(disk.OpRead, n, bt, true, nil, at, d.tr.Now()-at)
 		return nil
@@ -344,6 +354,7 @@ func (d *Device) writeOne(n int64, buf []byte) error {
 	fail := d.matchLocked(iron.WriteFailure, bt, n)
 	d.mu.Unlock()
 	if fail != nil {
+		noteFired(iron.WriteFailure, bt)
 		d.tr.FaultFired(iron.WriteFailure, n, bt, fail.Sticky)
 		d.record(disk.OpWrite, n, bt, true, disk.ErrIO, at, 0)
 		return disk.ErrIO
@@ -353,6 +364,7 @@ func (d *Device) writeOne(n int64, buf []byte) error {
 	phantom := d.matchLocked(iron.PhantomWrite, bt, n)
 	d.mu.Unlock()
 	if phantom != nil {
+		noteFired(iron.PhantomWrite, bt)
 		d.tr.FaultFired(iron.PhantomWrite, n, bt, phantom.Sticky)
 		d.record(disk.OpWrite, n, bt, true, nil, at, 0)
 		return nil // "completed" — the media never sees it
@@ -366,6 +378,7 @@ func (d *Device) writeOne(n int64, buf []byte) error {
 		if target >= d.inner.NumBlocks() {
 			target = n - 1
 		}
+		noteFired(iron.MisdirectedWrite, bt)
 		d.tr.FaultFired(iron.MisdirectedWrite, n, bt, misdir.Sticky)
 		err := d.inner.WriteBlock(target, buf)
 		d.record(disk.OpWrite, n, bt, true, err, at, d.tr.Now()-at)
@@ -412,3 +425,7 @@ func (d *Device) NumBlocks() int64 { return d.inner.NumBlocks() }
 
 // Close implements disk.Device.
 func (d *Device) Close() error { return d.inner.Close() }
+
+// Clock forwards the simulated clock of the wrapped device, keeping
+// disk.ClockOf discovery working through the fault layer.
+func (d *Device) Clock() *disk.Clock { return disk.ClockOf(d.inner) }

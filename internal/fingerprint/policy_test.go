@@ -102,7 +102,7 @@ func TestExt3TruncateFailsSilently(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, fdev, _, fs, _, err := instance(target, cfg, img)
+	_, fdev, fs, _, err := instance(target, cfg, img, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

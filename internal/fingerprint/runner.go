@@ -55,6 +55,13 @@ type Scenario struct {
 	// Detection/Recovery are the techniques the file system exhibited.
 	Detection iron.DetectionSet
 	Recovery  iron.RecoverySet
+	// DetectCounts/RecoverCounts are the per-level event counts behind
+	// the sets (zero levels excluded). The live-metrics registry's
+	// iron_detect_total/iron_recover_total counters must reconcile
+	// exactly with these summed over a campaign: golden (fault-free)
+	// runs record nothing, so scenarios are the only source.
+	DetectCounts  map[iron.DetectionLevel]int
+	RecoverCounts map[iron.RecoveryLevel]int
 	// Health is the file system's state after the workload.
 	Health vfs.HealthState
 	// Trace is the scenario's evidence trace (nil unless Config.Trace).
@@ -75,6 +82,24 @@ func (r *Result) Counts() iron.TechniqueCounts {
 		c.Tally(m)
 	}
 	return c
+}
+
+// TaxonomyCounts sums the per-scenario detection and recovery event
+// counts across the whole fingerprint — the numbers the registry's
+// iron_detect_total/iron_recover_total counters must equal after a
+// campaign run against a fresh registry.
+func (r *Result) TaxonomyCounts() (map[iron.DetectionLevel]int, map[iron.RecoveryLevel]int) {
+	det := map[iron.DetectionLevel]int{}
+	rec := map[iron.RecoveryLevel]int{}
+	for _, s := range r.Scenarios {
+		for lvl, n := range s.DetectCounts {
+			det[lvl] += n
+		}
+		for lvl, n := range s.RecoverCounts {
+			rec[lvl] += n
+		}
+	}
+	return det, rec
 }
 
 // DetectedAndRecovered counts the applicable scenarios in which a fault
@@ -232,17 +257,20 @@ func buildImage(t Target, cfg Config, dirty bool) ([]byte, error) {
 	return target.Snapshot(), nil
 }
 
-// instance builds a fresh (disk, fault layer, recorder, fs) stack over an
-// image snapshot. With cfg.Trace, a tracer driven by the fresh disk's
-// simulated clock is attached before the upper layers are constructed (they
-// capture it via trace.Of), and recorder events are bridged into it.
-func instance(t Target, cfg Config, img []byte) (*disk.Disk, *faultinject.Device, *iron.Recorder, vfs.FileSystem, *trace.Tracer, error) {
+// instance builds a fresh (disk, fault layer, fs) stack over an image
+// snapshot, reporting into the given recorder (nil for fault-free golden
+// runs, so they record nothing — the taxonomy reconciliation depends on
+// faulted scenarios being the only source of iron_* counters). With
+// cfg.Trace, a tracer driven by the fresh disk's simulated clock is
+// attached before the upper layers are constructed (they capture it via
+// trace.Of), and recorder events are bridged into it.
+func instance(t Target, cfg Config, img []byte, rec *iron.Recorder) (*disk.Disk, *faultinject.Device, vfs.FileSystem, *trace.Tracer, error) {
 	d, err := disk.New(cfg.DiskBlocks, disk.DefaultGeometry(), nil)
 	if err != nil {
-		return nil, nil, nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	if err := d.Restore(img); err != nil {
-		return nil, nil, nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	var tr *trace.Tracer
 	if cfg.Trace {
@@ -250,16 +278,15 @@ func instance(t Target, cfg Config, img []byte) (*disk.Disk, *faultinject.Device
 		d.SetTracer(tr)
 	}
 	fdev := faultinject.NewSeeded(d, t.NewResolver(d), cfg.Seed)
-	rec := iron.NewRecorder()
 	tr.BridgeRecorder(rec)
 	fs := t.New(fdev, rec)
-	return d, fdev, rec, fs, tr, nil
+	return d, fdev, fs, tr, nil
 }
 
 // goldenTrace runs a workload fault-free and returns its per-type access
 // counts (the applicability mask).
 func goldenTrace(t Target, cfg Config, w Workload, img []byte) (map[iron.BlockType][2]int, error) {
-	_, fdev, _, fs, _, err := instance(t, cfg, img)
+	_, fdev, fs, _, err := instance(t, cfg, img, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -277,7 +304,8 @@ func goldenTrace(t Target, cfg Config, w Workload, img []byte) (map[iron.BlockTy
 
 // runScenario executes one faulted experiment.
 func runScenario(t Target, cfg Config, w Workload, img []byte, bt iron.BlockType, fc iron.FaultClass) (Scenario, error) {
-	_, fdev, rec, fs, tr, err := instance(t, cfg, img)
+	rec := iron.NewRecorder()
+	_, fdev, fs, tr, err := instance(t, cfg, img, rec)
 	if err != nil {
 		return Scenario{}, err
 	}
@@ -299,6 +327,9 @@ func runScenario(t Target, cfg Config, w Workload, img []byte, bt iron.BlockType
 		Err:        werr,
 		Detection:  rec.Detections(),
 		Recovery:   rec.Recoveries(),
+
+		DetectCounts:  rec.DetectCounts(),
+		RecoverCounts: rec.RecoverCounts(),
 	}
 	if t.Health != nil {
 		s.Health = t.Health(fs)

@@ -1,0 +1,99 @@
+package fingerprint
+
+import (
+	"bytes"
+	"testing"
+
+	"ironfs/internal/iron"
+	"ironfs/internal/stat"
+)
+
+// campaignSnapshot runs one fingerprint campaign against a private
+// metrics registry and returns the registry's JSON snapshot plus the
+// result. Everything inside Run resolves its handles after the swap, so
+// the registry sees exactly this campaign's traffic.
+func campaignSnapshot(t *testing.T, name string, cfg Config) ([]byte, *Result, *stat.Registry) {
+	t.Helper()
+	target, ok := ByName(name)
+	if !ok {
+		t.Fatalf("unknown target %q", name)
+	}
+	reg := stat.NewRegistry()
+	old := stat.SetDefault(reg)
+	defer stat.SetDefault(old)
+	res, err := Run(target, cfg)
+	if err != nil {
+		t.Fatalf("fingerprint %s: %v", name, err)
+	}
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), res, reg
+}
+
+// Two identical campaigns must snapshot byte-identically: all metric
+// values derive from the simulated clock and the seeded fault RNG, so
+// any divergence is nondeterminism leaking into the metrics layer.
+func TestCampaignSnapshotByteIdentity(t *testing.T) {
+	cfg := Config{Faults: []iron.FaultClass{iron.ReadFailure}}
+	a, _, _ := campaignSnapshot(t, "ext3", cfg)
+	b, _, _ := campaignSnapshot(t, "ext3", cfg)
+	if !bytes.Equal(a, b) {
+		t.Errorf("identical campaigns snapshot differently:\nA: %s\nB: %s", a, b)
+	}
+}
+
+// The registry's iron_detect_total/iron_recover_total counters must
+// reconcile exactly with the campaign's own accounting: golden runs use
+// a nil recorder, so the faulted scenarios are the only source, and the
+// per-level sums must match. A counter is nonzero exactly when the level
+// shows up in some matrix cell.
+func TestTaxonomyCountersReconcile(t *testing.T) {
+	_, res, reg := campaignSnapshot(t, "ext3", Config{})
+
+	wantDet, wantRec := res.TaxonomyCounts()
+	for d := iron.DZero + 1; d < iron.DRedundancy+1; d++ {
+		got := reg.Counter("iron_detect_total", "level", d.String()).Value()
+		if got != int64(wantDet[d]) {
+			t.Errorf("iron_detect_total{level=%s} = %d, scenarios counted %d", d, got, wantDet[d])
+		}
+	}
+	for r := iron.RZero + 1; r <= iron.RRedundancy; r++ {
+		got := reg.Counter("iron_recover_total", "level", r.String()).Value()
+		if got != int64(wantRec[r]) {
+			t.Errorf("iron_recover_total{level=%s} = %d, scenarios counted %d", r, got, wantRec[r])
+		}
+	}
+
+	// Cross-check against the matrices: a level was counted iff some
+	// cell exhibits it.
+	inCells := func(check func(iron.Cell) bool) bool {
+		for _, m := range res.Matrices {
+			for _, row := range m.Cells {
+				for _, c := range row {
+					if c.Applicable && check(c) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	for d := iron.DZero + 1; d < iron.DRedundancy+1; d++ {
+		lvl := d
+		counted := wantDet[lvl] > 0
+		shown := inCells(func(c iron.Cell) bool { return c.Detection.Has(lvl) })
+		if counted != shown {
+			t.Errorf("detection %s: counted=%v but in matrix=%v", lvl, counted, shown)
+		}
+	}
+	for r := iron.RZero + 1; r <= iron.RRedundancy; r++ {
+		lvl := r
+		counted := wantRec[lvl] > 0
+		shown := inCells(func(c iron.Cell) bool { return c.Recovery.Has(lvl) })
+		if counted != shown {
+			t.Errorf("recovery %s: counted=%v but in matrix=%v", lvl, counted, shown)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package ext3
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -62,6 +63,12 @@ type FS struct {
 	// retries counts successful RRetry recoveries, for reports. Atomic:
 	// the data read path increments it under a shared (read) lock.
 	retries atomic.Int64
+
+	// clk is the stack's simulated clock (nil over clockless devices);
+	// st holds the journal path's live-metrics handles. Both resolved at
+	// construction.
+	clk *disk.Clock
+	st  vfs.FSMetrics
 }
 
 // assert the interface is satisfied.
@@ -76,7 +83,9 @@ func New(dev disk.Device, opts Options, rec *iron.Recorder) *FS {
 		rec:   rec,
 		tr:    trace.Of(dev),
 		cache: bcache.New(2048),
+		clk:   disk.ClockOf(dev),
 	}
+	fs.st = vfs.NewFSMetrics(fs.variantName())
 	fs.cache.SetTracer(fs.tr)
 	fs.commitDone = sync.NewCond(&fs.mu)
 	return fs
@@ -87,6 +96,10 @@ func (fs *FS) Options() Options { return fs.opts }
 
 // Health returns the current RStop state of the file system.
 func (fs *FS) Health() vfs.HealthState { return fs.health.State() }
+
+// HealthTransitions returns the degrade transition log: every downward
+// health move with the subsystem and cause that forced it.
+func (fs *FS) HealthTransitions() []vfs.Transition { return fs.health.Transitions() }
 
 // now advances and returns the logical timestamp counter.
 func (fs *FS) now() int64 {
@@ -120,7 +133,7 @@ func (fs *FS) abortJournal(bt iron.BlockType, why string) {
 	if fs.health.State() == vfs.Healthy {
 		fs.rec.Recover(iron.RStop, bt, "journal abort, remount read-only: "+why)
 	}
-	fs.health.Degrade(vfs.ReadOnly)
+	fs.health.Degrade(vfs.ReadOnly, "journal", errors.New(why))
 }
 
 // readMeta reads a metadata block with full policy: error-code checking,

@@ -319,6 +319,8 @@ func (fs *FS) commitLocked() error {
 func (fs *FS) freezeTxnLocked() (*commitPlan, error) {
 	t := fs.tx
 	fs.tr.Phase("commit", fmt.Sprintf("seq=%d meta=%d data=%d", fs.seq+1, len(t.metaOrder), len(t.dataOrder)))
+	fs.st.Commits.Inc()
+	fs.st.TxnBlocks.Observe(int64(len(t.metaOrder) + len(t.dataOrder)))
 
 	// Fold checksum-table updates into the transaction so the entries
 	// commit atomically with the blocks they cover. New checksum blocks
@@ -608,6 +610,7 @@ func (fs *FS) ensureJournalSpace(txnLen int64) error {
 //iron:txentry commit machinery: checkpoints committed journal payloads to their home locations
 func (fs *FS) checkpointLocked() error {
 	fs.tr.Phase("checkpoint", fmt.Sprintf("pending=%d", len(fs.pending.entries)))
+	fs.st.Checkpoints.Inc()
 	if len(fs.pending.entries) > 0 {
 		reqs := make([]disk.Request, 0, len(fs.pending.entries))
 		types := make([]iron.BlockType, 0, cap(reqs))
@@ -667,6 +670,7 @@ func (fs *FS) checkpointLocked() error {
 //iron:txentry recovery machinery: mount-time journal replay writes committed transactions home
 func (fs *FS) replayJournal() error {
 	fs.tr.Phase("replay", fs.variantName())
+	fs.st.Replays.Inc()
 	base := int64(fs.lay.sb.JournalStart)
 	buf := make([]byte, BlockSize)
 	if err := fs.dev.ReadBlock(base, buf); err != nil {

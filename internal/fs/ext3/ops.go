@@ -801,6 +801,13 @@ func (fs *FS) Fsync(path string) error {
 	if err := fs.guardWrite(); err != nil {
 		return err
 	}
+	if fs.clk != nil {
+		// Fsync wait: everything between here and return — resolving,
+		// waiting out in-flight commits, and any commit this call pays
+		// for — is durability latency the caller experienced.
+		start := int64(fs.clk.Now())
+		defer func() { fs.st.FsyncWait.Observe(int64(fs.clk.Now()) - start) }()
+	}
 	ino, _, err := fs.resolve(path, true)
 	if err != nil {
 		return err

@@ -1,6 +1,7 @@
 package jfs
 
 import (
+	"errors"
 	"sync"
 
 	"ironfs/internal/bcache"
@@ -16,6 +17,11 @@ type FS struct {
 	dev disk.Device
 	rec *iron.Recorder
 	tr  *trace.Tracer
+	// clk is the stack's simulated clock (nil over clockless devices);
+	// st holds the journal path's live-metrics handles. Both resolved at
+	// construction.
+	clk *disk.Clock
+	st  vfs.FSMetrics
 	// repairHooks bracket fsck repair transactions (crash-idempotence
 	// harness); set before repair traffic via SetRepairHooks.
 	repairHooks *fsck.RepairHooks
@@ -40,7 +46,8 @@ var _ vfs.FileSystem = (*FS)(nil)
 
 // New binds a JFS instance to a formatted device. Mount before use.
 func New(dev disk.Device, rec *iron.Recorder) *FS {
-	fs := &FS{dev: dev, rec: rec, tr: trace.Of(dev), cache: bcache.New(2048)}
+	fs := &FS{dev: dev, rec: rec, tr: trace.Of(dev), cache: bcache.New(2048),
+		clk: disk.ClockOf(dev), st: vfs.NewFSMetrics("jfs")}
 	fs.cache.SetTracer(fs.tr)
 	return fs
 }
@@ -51,6 +58,10 @@ func (fs *FS) SetNoAtime(on bool) { fs.noatime = on }
 
 // Health returns the current RStop state.
 func (fs *FS) Health() vfs.HealthState { return fs.health.State() }
+
+// HealthTransitions returns the degrade transition log: every downward
+// health move with the subsystem and cause that forced it.
+func (fs *FS) HealthTransitions() []vfs.Transition { return fs.health.Transitions() }
 
 func (fs *FS) now() int64 {
 	fs.timeCtr++
@@ -63,7 +74,7 @@ func (fs *FS) crash(bt iron.BlockType, why string) {
 	if fs.health.State() != vfs.Panicked {
 		fs.rec.Recover(iron.RStop, bt, "explicit crash: "+why)
 	}
-	fs.health.Degrade(vfs.Panicked)
+	fs.health.Degrade(vfs.Panicked, string(bt), errors.New(why))
 }
 
 // remountRO models JFS's milder stop: propagate and remount read-only.
@@ -71,7 +82,7 @@ func (fs *FS) remountRO(bt iron.BlockType, why string) {
 	if fs.health.State() == vfs.Healthy {
 		fs.rec.Recover(iron.RStop, bt, "remount read-only: "+why)
 	}
-	fs.health.Degrade(vfs.ReadOnly)
+	fs.health.Degrade(vfs.ReadOnly, string(bt), errors.New(why))
 }
 
 // readMeta reads a metadata block with JFS's generic-code policy (§5.3):

@@ -137,6 +137,8 @@ func (fs *FS) commitLocked() error {
 		return err
 	}
 	fs.tr.Phase("commit", fmt.Sprintf("seq=%d records=%d data=%d", fs.seq+1, len(t.records), len(t.dataOrder)))
+	fs.st.Commits.Inc()
+	fs.st.TxnBlocks.Observe(int64(len(t.records) + len(t.dataOrder)))
 	seq := fs.seq + 1
 	base := int64(fs.sb.LogStart)
 
@@ -268,6 +270,7 @@ func (fs *FS) loadLogSuper() error {
 //iron:txentry recovery machinery: mount-time log replay writes committed transactions home
 func (fs *FS) replayLog() error {
 	fs.tr.Phase("replay", "jfs")
+	fs.st.Replays.Inc()
 	if err := fs.loadLogSuper(); err != nil {
 		return err
 	}

@@ -324,6 +324,12 @@ func (fs *FS) Fsync(path string) error {
 	if err := fs.guardWrite(); err != nil {
 		return err
 	}
+	if fs.clk != nil {
+		// Fsync wait: resolve + the commit this call pays for is the
+		// durability latency the caller experienced.
+		start := int64(fs.clk.Now())
+		defer func() { fs.st.FsyncWait.Observe(int64(fs.clk.Now()) - start) }()
+	}
 	if _, _, err := fs.resolve(path, true); err != nil {
 		return err
 	}

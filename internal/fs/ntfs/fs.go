@@ -2,6 +2,7 @@ package ntfs
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -18,6 +19,11 @@ type FS struct {
 	dev disk.Device
 	rec *iron.Recorder
 	tr  *trace.Tracer
+	// clk is the stack's simulated clock (nil over clockless devices);
+	// st holds the journal path's live-metrics handles. Both resolved at
+	// construction.
+	clk *disk.Clock
+	st  vfs.FSMetrics
 	// repairHooks bracket fsck repair transactions (crash-idempotence
 	// harness); set before repair traffic via SetRepairHooks.
 	repairHooks *fsck.RepairHooks
@@ -39,7 +45,8 @@ var _ vfs.FileSystem = (*FS)(nil)
 
 // New binds an NTFS instance to a formatted device. Mount before use.
 func New(dev disk.Device, rec *iron.Recorder) *FS {
-	fs := &FS{dev: dev, rec: rec, tr: trace.Of(dev), cache: bcache.New(2048)}
+	fs := &FS{dev: dev, rec: rec, tr: trace.Of(dev), cache: bcache.New(2048),
+		clk: disk.ClockOf(dev), st: vfs.NewFSMetrics("ntfs")}
 	fs.cache.SetTracer(fs.tr)
 	return fs
 }
@@ -50,6 +57,10 @@ func (fs *FS) SetNoAtime(on bool) { fs.noatime = on }
 
 // Health returns the current RStop state.
 func (fs *FS) Health() vfs.HealthState { return fs.health.State() }
+
+// HealthTransitions returns the degrade transition log: every downward
+// health move with the subsystem and cause that forced it.
+func (fs *FS) HealthTransitions() []vfs.Transition { return fs.health.Transitions() }
 
 func (fs *FS) now() int64 {
 	fs.timeCtr++
@@ -64,7 +75,7 @@ func (fs *FS) unmountable(bt iron.BlockType, why string) {
 	if fs.health.State() == vfs.Healthy {
 		fs.rec.Recover(iron.RStop, bt, "volume marked unusable: "+why)
 	}
-	fs.health.Degrade(vfs.ReadOnly)
+	fs.health.Degrade(vfs.ReadOnly, string(bt), errors.New(why))
 }
 
 // readBlockRetry reads a block with NTFS's famous persistence: up to seven
@@ -200,6 +211,8 @@ func (fs *FS) commitLocked() error {
 		return err
 	}
 	fs.tr.Phase("commit", fmt.Sprintf("seq=%d meta=%d data=%d", fs.seq+1, len(t.metaOrder), len(t.dataOrder)))
+	fs.st.Commits.Inc()
+	fs.st.TxnBlocks.Observe(int64(len(t.metaOrder) + len(t.dataOrder)))
 	seq := fs.seq + 1
 	base := int64(fs.boot.LogStart)
 	le := binary.LittleEndian
@@ -321,6 +334,7 @@ func (fs *FS) loadRestart() (startRel int64, nextSeq uint64, err error) {
 // replayLog applies committed logfile transactions after a crash.
 func (fs *FS) replayLog() error {
 	fs.tr.Phase("replay", "ntfs")
+	fs.st.Replays.Inc()
 	startRel, nextSeq, err := fs.loadRestart()
 	if err != nil {
 		return err

@@ -345,3 +345,14 @@ func Health(fsys vfs.FileSystem) (vfs.HealthState, bool) {
 	}
 	return 0, false
 }
+
+// Transitions reports the degrade transition log of an instance — every
+// downward health move with the subsystem and cause that forced it — so
+// a ReadOnly mount is explainable after the fact. Works for any
+// registered file system.
+func Transitions(fsys vfs.FileSystem) ([]vfs.Transition, bool) {
+	if f, ok := fsys.(interface{ HealthTransitions() []vfs.Transition }); ok {
+		return f.HealthTransitions(), true
+	}
+	return nil, false
+}

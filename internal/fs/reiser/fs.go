@@ -1,6 +1,7 @@
 package reiser
 
 import (
+	"errors"
 	"sync"
 
 	"ironfs/internal/bcache"
@@ -16,6 +17,11 @@ type FS struct {
 	dev disk.Device
 	rec *iron.Recorder
 	tr  *trace.Tracer
+	// clk is the stack's simulated clock (nil over clockless devices);
+	// st holds the journal path's live-metrics handles. Both resolved at
+	// construction.
+	clk *disk.Clock
+	st  vfs.FSMetrics
 	// repairHooks bracket fsck repair transactions (crash-idempotence
 	// harness); set before repair traffic via SetRepairHooks.
 	repairHooks *fsck.RepairHooks
@@ -38,7 +44,8 @@ var _ vfs.FileSystem = (*FS)(nil)
 
 // New binds a ReiserFS instance to a formatted device. Mount before use.
 func New(dev disk.Device, rec *iron.Recorder) *FS {
-	fs := &FS{dev: dev, rec: rec, tr: trace.Of(dev), cache: bcache.New(2048)}
+	fs := &FS{dev: dev, rec: rec, tr: trace.Of(dev), cache: bcache.New(2048),
+		clk: disk.ClockOf(dev), st: vfs.NewFSMetrics("reiserfs")}
 	fs.cache.SetTracer(fs.tr)
 	return fs
 }
@@ -49,6 +56,10 @@ func (fs *FS) SetNoAtime(on bool) { fs.noatime = on }
 
 // Health returns the current RStop state.
 func (fs *FS) Health() vfs.HealthState { return fs.health.State() }
+
+// HealthTransitions returns the degrade transition log: every downward
+// health move with the subsystem and cause that forced it.
+func (fs *FS) HealthTransitions() []vfs.Transition { return fs.health.Transitions() }
 
 func (fs *FS) now() int64 {
 	fs.timeCtr++
@@ -63,7 +74,7 @@ func (fs *FS) panicFS(bt iron.BlockType, why string) {
 	if fs.health.State() != vfs.Panicked {
 		fs.rec.Recover(iron.RStop, bt, "panic: "+why)
 	}
-	fs.health.Degrade(vfs.Panicked)
+	fs.health.Degrade(vfs.Panicked, string(bt), errors.New(why))
 }
 
 // readMetaBlock reads a metadata block (tree node, bitmap) with ReiserFS's

@@ -146,6 +146,8 @@ func (fs *FS) commitLocked() error {
 		return err
 	}
 	fs.tr.Phase("commit", fmt.Sprintf("seq=%d meta=%d", fs.seq+1, len(t.metaOrder)))
+	fs.st.Commits.Inc()
+	fs.st.TxnBlocks.Observe(int64(len(t.metaOrder)))
 	seq := fs.seq + 1
 	base := int64(fs.sb.JournalStart)
 	need := int64(len(t.metaOrder) + 2)
@@ -284,6 +286,7 @@ func (fs *FS) loadJournalHeader() error {
 //iron:txentry recovery machinery: mount-time journal replay writes committed transactions home
 func (fs *FS) replayJournal() error {
 	fs.tr.Phase("replay", "reiser")
+	fs.st.Replays.Inc()
 	base := int64(fs.sb.JournalStart)
 	if err := fs.loadJournalHeader(); err != nil {
 		return err

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"ironfs/internal/stat"
 )
 
 // Event is one detection or recovery action taken by a file system while
@@ -49,12 +51,21 @@ func (r *Recorder) SetObserver(fn func(Event)) {
 	r.mu.Unlock()
 }
 
-// record appends e and notifies the observer.
+// record appends e, counts it in the live-metrics registry keyed by the
+// paper's taxonomy level, and notifies the observer. Detection and
+// recovery events are rare (they mark fault handling, not normal I/O),
+// so the metric handle is resolved per event.
 func (r *Recorder) record(e Event) {
 	r.mu.Lock()
 	r.events = append(r.events, e)
 	obs := r.obs
 	r.mu.Unlock()
+	if e.Detection != DZero {
+		stat.C("iron_detect_total", "level", e.Detection.String()).Inc()
+	}
+	if e.Recovery != RZero {
+		stat.C("iron_recover_total", "level", e.Recovery.String()).Inc()
+	}
 	if obs != nil {
 		obs(e)
 	}
@@ -122,6 +133,31 @@ func (r *Recorder) Recoveries() RecoverySet {
 		}
 	}
 	return s
+}
+
+// DetectCounts counts the recorded detection events per taxonomy level
+// (DZero excluded): the per-scenario numbers the registry's
+// iron_detect_total counters must reconcile with.
+func (r *Recorder) DetectCounts() map[DetectionLevel]int {
+	out := map[DetectionLevel]int{}
+	for _, e := range r.Events() {
+		if e.Detection != DZero {
+			out[e.Detection]++
+		}
+	}
+	return out
+}
+
+// RecoverCounts counts the recorded recovery events per taxonomy level
+// (RZero excluded).
+func (r *Recorder) RecoverCounts() map[RecoveryLevel]int {
+	out := map[RecoveryLevel]int{}
+	for _, e := range r.Events() {
+		if e.Recovery != RZero {
+			out[e.Recovery]++
+		}
+	}
+	return out
 }
 
 // Summary returns a human-readable, deterministic digest of the recorded

@@ -37,6 +37,7 @@ import (
 	"sync"
 
 	"ironfs/internal/disk"
+	"ironfs/internal/stat"
 	"ironfs/internal/trace"
 )
 
@@ -75,15 +76,62 @@ type Scheduler struct {
 	inner disk.Device
 	depth int
 	tr    *trace.Tracer
+	// clk is the stack's simulated clock (nil over clockless test
+	// doubles); it timestamps enqueues so queue wait is measured in
+	// exact virtual time.
+	clk *disk.Clock
+	st  schedMetrics
 
 	//iron:lockorder 20 scheduler queue lock nests under any FS lock via device calls
 	mu    sync.Mutex
-	queue map[int64][]byte
+	queue map[int64]queued
 	head  int64
 	stats Stats
 }
 
+// queued is one write waiting in the queue: the (copied) data and the
+// virtual time it was accepted. A last-wins absorption resets the
+// timestamp — the wait reported is the surviving write's.
+type queued struct {
+	data []byte
+	at   int64
+}
+
+// schedMetrics are the scheduler's live-metrics handles. The passthrough
+// configuration (depth ≤ 1) records nothing, matching its no-trace-events
+// contract.
+type schedMetrics struct {
+	enqueued   *stat.Counter
+	absorbed   *stat.Counter
+	dispatched *stat.Counter
+	batches    *stat.Counter
+	coalesced  *stat.Counter
+	drains     *stat.Counter
+	readFlush  *stat.Counter
+	depth      *stat.Gauge
+	queueWait  *stat.Histogram
+}
+
+func newSchedMetrics() schedMetrics {
+	return schedMetrics{
+		enqueued:   stat.C("sched_ops_total", "kind", "enqueue"),
+		absorbed:   stat.C("sched_ops_total", "kind", "absorb"),
+		dispatched: stat.C("sched_ops_total", "kind", "dispatch"),
+		batches:    stat.C("sched_ops_total", "kind", "batch"),
+		coalesced:  stat.C("sched_ops_total", "kind", "coalesce"),
+		drains:     stat.C("sched_ops_total", "kind", "drain"),
+		readFlush:  stat.C("sched_ops_total", "kind", "read-flush"),
+		depth:      stat.G("sched_queue_depth"),
+		queueWait:  stat.H("sched_queue_wait_ns"),
+	}
+}
+
 var _ disk.Device = (*Scheduler)(nil)
+
+// Clock exposes the stack's simulated clock for disk.ClockOf discovery,
+// so file systems mounted over the scheduler can still measure exact
+// virtual-time waits (fsync latency).
+func (s *Scheduler) Clock() *disk.Clock { return s.clk }
 
 // New wraps inner with a scheduler configured by cfg. The run's tracer is
 // discovered from the inner device (trace.Of), so the scheduler's events
@@ -97,7 +145,9 @@ func New(inner disk.Device, cfg Config) *Scheduler {
 		inner: inner,
 		depth: depth,
 		tr:    trace.Of(inner),
-		queue: make(map[int64][]byte),
+		clk:   disk.ClockOf(inner),
+		st:    newSchedMetrics(),
+		queue: make(map[int64]queued),
 	}
 }
 
@@ -130,6 +180,7 @@ func (s *Scheduler) ReadBlock(n int64, buf []byte) error {
 		s.mu.Lock()
 		if _, queued := s.queue[n]; queued {
 			s.stats.ReadFlushes++
+			s.st.readFlush.Inc()
 			err := s.flushLocked("read")
 			s.mu.Unlock()
 			if err != nil {
@@ -226,12 +277,19 @@ func (s *Scheduler) Close() error {
 func (s *Scheduler) enqueueLocked(n int64, buf []byte) {
 	if _, ok := s.queue[n]; ok {
 		s.stats.Absorbed++
+		s.st.absorbed.Inc()
 	}
-	s.queue[n] = append([]byte(nil), buf...)
+	var at int64
+	if s.clk != nil {
+		at = int64(s.clk.Now())
+	}
+	s.queue[n] = queued{data: append([]byte(nil), buf...), at: at}
 	s.stats.Enqueued++
+	s.st.enqueued.Inc()
 	if len(s.queue) > s.stats.MaxQueue {
 		s.stats.MaxQueue = len(s.queue)
 	}
+	s.st.depth.Set(int64(len(s.queue)))
 	s.tr.Sched(trace.KindEnqueue, n, len(s.queue), "")
 }
 
@@ -275,27 +333,40 @@ func (s *Scheduler) flushLocked(reason string) error {
 		run := order[i:j]
 		reqs := make([]disk.Request, len(run))
 		for k, b := range run {
-			reqs[k] = disk.Request{Block: b, Data: s.queue[b]}
+			reqs[k] = disk.Request{Block: b, Data: s.queue[b].data}
 		}
 		if len(run) > 1 {
 			s.stats.Coalesced += int64(len(run))
+			s.st.coalesced.Add(int64(len(run)))
 			s.tr.Sched(trace.KindCoalesce, run[0], len(run), "")
 		}
 		if err := s.inner.WriteBatch(reqs); err != nil {
 			s.tr.Sched(trace.KindDrain, trace.NoBlock, dispatched, reason+"-error")
 			return err
 		}
+		if s.clk != nil {
+			// Queue wait is enqueue → dispatch completion in virtual
+			// time: what write-behind actually deferred.
+			now := int64(s.clk.Now())
+			for _, b := range run {
+				s.st.queueWait.Observe(now - s.queue[b].at)
+			}
+		}
 		for _, b := range run {
 			delete(s.queue, b)
 		}
 		s.stats.Dispatched += int64(len(run))
 		s.stats.Batches++
+		s.st.dispatched.Add(int64(len(run)))
+		s.st.batches.Inc()
 		s.tr.Sched(trace.KindDispatch, run[0], len(run), "")
 		dispatched += len(run)
 		s.head = run[len(run)-1] + 1
 		i = j
 	}
 	s.stats.Drains++
+	s.st.drains.Inc()
+	s.st.depth.Set(int64(len(s.queue)))
 	s.tr.Sched(trace.KindDrain, trace.NoBlock, dispatched, reason)
 	return nil
 }

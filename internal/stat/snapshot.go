@@ -1,0 +1,220 @@
+package stat
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// CounterSnap is one counter in a snapshot.
+type CounterSnap struct {
+	Key   string `json:"key"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnap is one gauge in a snapshot: the final sample plus the
+// max/sum/count of all samples taken during the run.
+type GaugeSnap struct {
+	Key     string `json:"key"`
+	Last    int64  `json:"last"`
+	Max     int64  `json:"max"`
+	Sum     int64  `json:"sum"`
+	Samples int64  `json:"samples"`
+}
+
+// HistSnap is one histogram in a snapshot: exact order statistics in
+// the recorded unit (nanoseconds for latencies).
+type HistSnap struct {
+	Key   string `json:"key"`
+	Count int64  `json:"count"`
+	Sum   int64  `json:"sum"`
+	Min   int64  `json:"min"`
+	P50   int64  `json:"p50"`
+	P90   int64  `json:"p90"`
+	P95   int64  `json:"p95"`
+	P99   int64  `json:"p99"`
+	P999  int64  `json:"p999"`
+	Max   int64  `json:"max"`
+}
+
+// Snapshot is a point-in-time copy of a registry, sorted by key in
+// every section. Identical runs produce byte-identical snapshots in
+// both table and JSON form.
+type Snapshot struct {
+	Counters   []CounterSnap `json:"counters"`
+	Gauges     []GaugeSnap   `json:"gauges"`
+	Histograms []HistSnap    `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, c := range r.counters {
+		counters[k] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, g := range r.gauges {
+		gauges[k] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, h := range r.hists {
+		hists[k] = h
+	}
+	r.mu.Unlock()
+
+	s := &Snapshot{
+		Counters:   make([]CounterSnap, 0, len(counters)),
+		Gauges:     make([]GaugeSnap, 0, len(gauges)),
+		Histograms: make([]HistSnap, 0, len(hists)),
+	}
+	for k, c := range counters {
+		s.Counters = append(s.Counters, CounterSnap{Key: k, Value: c.Value()})
+	}
+	for k, g := range gauges {
+		last, max, sum, n := g.snapshot()
+		s.Gauges = append(s.Gauges, GaugeSnap{Key: k, Last: last, Max: max, Sum: sum, Samples: n})
+	}
+	for k, h := range hists {
+		vals, counts, n := h.sorted()
+		hs := HistSnap{Key: k, Count: n, Sum: h.Sum()}
+		if n > 0 {
+			hs.Min = vals[0]
+			hs.Max = vals[len(vals)-1]
+			hs.P50 = quantile(vals, counts, n, 0.50)
+			hs.P90 = quantile(vals, counts, n, 0.90)
+			hs.P95 = quantile(vals, counts, n, 0.95)
+			hs.P99 = quantile(vals, counts, n, 0.99)
+			hs.P999 = quantile(vals, counts, n, 0.999)
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Key < s.Counters[j].Key })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Key < s.Gauges[j].Key })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Key < s.Histograms[j].Key })
+	return s
+}
+
+// Render formats the snapshot as a deterministic text table. Latency
+// histograms are in nanoseconds of virtual time.
+func (s *Snapshot) Render() string {
+	var b strings.Builder
+	if len(s.Counters) > 0 {
+		b.WriteString("# counters\n")
+		w := 0
+		for _, c := range s.Counters {
+			if len(c.Key) > w {
+				w = len(c.Key)
+			}
+		}
+		for _, c := range s.Counters {
+			fmt.Fprintf(&b, "%-*s %d\n", w, c.Key, c.Value)
+		}
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("# gauges\n")
+		w := 0
+		for _, g := range s.Gauges {
+			if len(g.Key) > w {
+				w = len(g.Key)
+			}
+		}
+		for _, g := range s.Gauges {
+			fmt.Fprintf(&b, "%-*s last=%d max=%d sum=%d samples=%d\n",
+				w, g.Key, g.Last, g.Max, g.Sum, g.Samples)
+		}
+	}
+	if len(s.Histograms) > 0 {
+		b.WriteString("# histograms (ns)\n")
+		w := 0
+		for _, h := range s.Histograms {
+			if len(h.Key) > w {
+				w = len(h.Key)
+			}
+		}
+		for _, h := range s.Histograms {
+			mean := int64(0)
+			if h.Count > 0 {
+				mean = h.Sum / h.Count
+			}
+			fmt.Fprintf(&b, "%-*s n=%d mean=%d min=%d p50=%d p90=%d p95=%d p99=%d p999=%d max=%d\n",
+				w, h.Key, h.Count, mean, h.Min, h.P50, h.P90, h.P95, h.P99, h.P999, h.Max)
+		}
+	}
+	if b.Len() == 0 {
+		return "(no metrics recorded)\n"
+	}
+	return b.String()
+}
+
+// WriteJSON writes the snapshot as deterministic indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Diff lists, one line per difference, every metric that differs
+// between two snapshots (missing on one side, or any field changed).
+// An empty result means the snapshots are identical.
+func Diff(a, b *Snapshot) []string {
+	var out []string
+	diffSection(&out, "counter", counterLines(a), counterLines(b))
+	diffSection(&out, "gauge", gaugeLines(a), gaugeLines(b))
+	diffSection(&out, "histogram", histLines(a), histLines(b))
+	return out
+}
+
+func counterLines(s *Snapshot) map[string]string {
+	m := make(map[string]string, len(s.Counters))
+	for _, c := range s.Counters {
+		m[c.Key] = fmt.Sprintf("%d", c.Value)
+	}
+	return m
+}
+
+func gaugeLines(s *Snapshot) map[string]string {
+	m := make(map[string]string, len(s.Gauges))
+	for _, g := range s.Gauges {
+		m[g.Key] = fmt.Sprintf("last=%d max=%d sum=%d samples=%d", g.Last, g.Max, g.Sum, g.Samples)
+	}
+	return m
+}
+
+func histLines(s *Snapshot) map[string]string {
+	m := make(map[string]string, len(s.Histograms))
+	for _, h := range s.Histograms {
+		m[h.Key] = fmt.Sprintf("n=%d sum=%d min=%d p50=%d p90=%d p95=%d p99=%d p999=%d max=%d",
+			h.Count, h.Sum, h.Min, h.P50, h.P90, h.P95, h.P99, h.P999, h.Max)
+	}
+	return m
+}
+
+func diffSection(out *[]string, kind string, a, b map[string]string) {
+	keys := make([]string, 0, len(a)+len(b))
+	seen := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		keys = append(keys, k)
+		seen[k] = true
+	}
+	for k := range b {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		av, aok := a[k]
+		bv, bok := b[k]
+		switch {
+		case !aok:
+			*out = append(*out, fmt.Sprintf("%s %s: only in B (%s)", kind, k, bv))
+		case !bok:
+			*out = append(*out, fmt.Sprintf("%s %s: only in A (%s)", kind, k, av))
+		case av != bv:
+			*out = append(*out, fmt.Sprintf("%s %s: A %s | B %s", kind, k, av, bv))
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package stat
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// refQuantile is the independent oracle: sort every observation and
+// take the ceil(q*n)-th smallest (nearest-rank).
+func refQuantile(vals []int64, q float64) int64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), vals...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := int64(math.Ceil(float64(len(s)) * q))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > int64(len(s)) {
+		rank = int64(len(s))
+	}
+	return s[rank-1]
+}
+
+func TestQuantilesMatchSortedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 3, 7, 100, 999, 10000} {
+		h := NewHistogram()
+		vals := make([]int64, n)
+		for i := range vals {
+			// Heavy quantization like simulated service times: few
+			// distinct values, many repeats.
+			vals[i] = int64(rng.Intn(50)) * 1000
+			h.Observe(vals[i])
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+			got := h.Quantile(q)
+			want := refQuantile(vals, q)
+			if got != want {
+				t.Errorf("n=%d q=%g: got %d want %d", n, q, got, want)
+			}
+		}
+		if got, want := h.Count(), int64(n); got != want {
+			t.Errorf("n=%d: Count=%d", n, got)
+		}
+		var sum int64
+		for _, v := range vals {
+			sum += v
+		}
+		if got := h.Sum(); got != sum {
+			t.Errorf("n=%d: Sum=%d want %d", n, got, sum)
+		}
+		if got, want := h.Min(), refQuantile(vals, 0); got != want {
+			t.Errorf("n=%d: Min=%d want %d", n, got, want)
+		}
+		if got, want := h.Max(), refQuantile(vals, 1); got != want {
+			t.Errorf("n=%d: Max=%d want %d", n, got, want)
+		}
+	}
+}
+
+func TestQuantileEmptyAndSingle(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.Observe(7)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 7 {
+			t.Fatalf("single-value q=%g: got %d", q, got)
+		}
+	}
+}
+
+// TestConcurrentEmit hammers one counter, one gauge, and one histogram
+// from many goroutines; run under -race this is the registry's
+// thread-safety proof, and the totals must still be exact.
+func TestConcurrentEmit(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Resolve handles concurrently too: interning must be safe.
+			c := r.Counter("ops_total", "op", "read")
+			g := r.Gauge("depth")
+			h := r.Histogram("svc_ns", "op", "read")
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(int64(i%13) * 100)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("ops_total", "op", "read").Value(); got != workers*per {
+		t.Errorf("counter: got %d want %d", got, workers*per)
+	}
+	if got := r.Histogram("svc_ns", "op", "read").Count(); got != workers*per {
+		t.Errorf("histogram count: got %d want %d", got, workers*per)
+	}
+	if _, _, _, n := r.Gauge("depth").snapshot(); n != workers*per {
+		t.Errorf("gauge samples: got %d want %d", n, workers*per)
+	}
+}
+
+func TestKeyCanonicalOrder(t *testing.T) {
+	a := Key("m", "op", "read", "shard", "01")
+	b := Key("m", "shard", "01", "op", "read")
+	if a != b {
+		t.Fatalf("label order changed key: %q vs %q", a, b)
+	}
+	if a != "m{op=read,shard=01}" {
+		t.Fatalf("unexpected key form: %q", a)
+	}
+	if Key("m") != "m" {
+		t.Fatal("no-label key should be bare name")
+	}
+	r := NewRegistry()
+	if r.Counter("m", "a", "1", "b", "2") != r.Counter("m", "b", "2", "a", "1") {
+		t.Fatal("same labels must intern to the same handle")
+	}
+}
+
+func TestSnapshotDeterministicAndReset(t *testing.T) {
+	r := NewRegistry()
+	emit := func() {
+		r.Counter("c", "x", "1").Add(3)
+		r.Counter("a").Inc()
+		r.Gauge("g").Set(5)
+		r.Gauge("g").Set(2)
+		h := r.Histogram("h")
+		for _, v := range []int64{300, 100, 200, 100} {
+			h.Observe(v)
+		}
+	}
+	emit()
+	var j1, j2 bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&j1); err != nil {
+		t.Fatal(err)
+	}
+	t1 := r.Snapshot().Render()
+
+	r.Reset()
+	emit()
+	if err := r.Snapshot().WriteJSON(&j2); err != nil {
+		t.Fatal(err)
+	}
+	t2 := r.Snapshot().Render()
+
+	if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+		t.Errorf("JSON not byte-identical after Reset+replay:\nA: %s\nB: %s", j1.String(), j2.String())
+	}
+	if t1 != t2 {
+		t.Errorf("table not identical after Reset+replay:\nA:\n%s\nB:\n%s", t1, t2)
+	}
+	if d := Diff(r.Snapshot(), r.Snapshot()); len(d) != 0 {
+		t.Errorf("self-diff not empty: %v", d)
+	}
+
+	s := r.Snapshot()
+	if s.Counters[0].Key != "a" || s.Counters[1].Key != "c{x=1}" {
+		t.Errorf("counters not sorted: %+v", s.Counters)
+	}
+	hs := s.Histograms[0]
+	if hs.Count != 4 || hs.Min != 100 || hs.Max != 300 || hs.P50 != 100 || hs.P99 != 300 {
+		t.Errorf("histogram snapshot wrong: %+v", hs)
+	}
+	gs := s.Gauges[0]
+	if gs.Last != 2 || gs.Max != 5 || gs.Sum != 7 || gs.Samples != 2 {
+		t.Errorf("gauge snapshot wrong: %+v", gs)
+	}
+}
+
+func TestDiffReportsChanges(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("c").Add(1)
+	r1.Histogram("h").Observe(10)
+	r2 := NewRegistry()
+	r2.Counter("c").Add(2)
+	r2.Gauge("g").Set(1)
+	d := Diff(r1.Snapshot(), r2.Snapshot())
+	if len(d) != 3 {
+		t.Fatalf("want 3 differences, got %d: %v", len(d), d)
+	}
+}
+
+func TestSetDefaultSwap(t *testing.T) {
+	fresh := NewRegistry()
+	old := SetDefault(fresh)
+	defer SetDefault(old)
+	C("swap_probe").Inc()
+	if got := fresh.Counter("swap_probe").Value(); got != 1 {
+		t.Fatalf("Default() did not route to swapped registry: %d", got)
+	}
+	if old.Counter("swap_probe").Value() != 0 {
+		t.Fatal("old registry saw the probe")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := int64(0); i < 10; i++ {
+		a.Observe(i)
+		b.Observe(i * 2)
+	}
+	a.Merge(b)
+	if a.Count() != 20 {
+		t.Fatalf("merged count %d", a.Count())
+	}
+	if a.Max() != 18 {
+		t.Fatalf("merged max %d", a.Max())
+	}
+	a.Merge(nil) // must not panic
+}

@@ -4,65 +4,27 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"ironfs/internal/stat"
 )
 
 // Derived metrics: a Summary is a pure function of an event stream, so
 // tools and tests can aggregate a trace (or compare two) without having
 // observed the run live.
 
-// histBuckets is the bucket count of a service-time histogram: bucket i
-// holds operations with service time in [2^i, 2^(i+1)) microseconds,
-// bucket 0 additionally catching everything below 1us.
-const histBuckets = 16
-
-// Histogram is a power-of-two latency histogram over simulated service
-// time, in microseconds.
-type Histogram struct {
-	Buckets [histBuckets]int
-	Count   int
-	// TotalNs sums the service time, for mean latency.
-	TotalNs int64
-}
-
-// Add records one service time in nanoseconds.
-func (h *Histogram) Add(ns int64) {
-	us := ns / 1000
-	b := 0
-	for us >= 2 && b < histBuckets-1 {
-		us >>= 1
-		b++
-	}
-	h.Buckets[b]++
-	h.Count++
-	h.TotalNs += ns
-}
-
-// String renders the non-empty buckets compactly: "1us:3 4us:1 8ms:2".
-func (h *Histogram) String() string {
-	var parts []string
-	for i, n := range h.Buckets {
-		if n == 0 {
-			continue
-		}
-		us := int64(1) << i
-		label := fmt.Sprintf("%dus", us)
-		if us >= 1000 {
-			label = fmt.Sprintf("%dms", us/1000)
-		}
-		parts = append(parts, fmt.Sprintf("%s:%d", label, n))
-	}
-	if len(parts) == 0 {
-		return "-"
-	}
-	return strings.Join(parts, " ")
-}
+// Histogram is the exact per-value latency histogram shared with the
+// live-metrics registry, so a post-hoc trace summary and a live snapshot
+// of the same run report the same order statistics. (It replaced an
+// older power-of-two bucketed type; quantiles are now exact.)
+type Histogram = stat.Histogram
 
 // TypeStat aggregates the fault-layer view of one block type.
 type TypeStat struct {
 	Reads, Writes, Faults int
 	Errs                  int
-	// Lat is the service-time distribution of the type's I/O.
-	Lat Histogram
+	// Lat is the service-time distribution of the type's I/O, in
+	// simulated nanoseconds.
+	Lat *Histogram
 }
 
 // Summary is the aggregate view of a trace.
@@ -207,7 +169,7 @@ func Summarize(events []Event) *Summary {
 func (s *Summary) typeStat(typ string) *TypeStat {
 	st := s.Types[typ]
 	if st == nil {
-		st = &TypeStat{}
+		st = &TypeStat{Lat: stat.NewHistogram()}
 		s.Types[typ] = st
 	}
 	return st
@@ -253,12 +215,8 @@ func (s *Summary) Render() string {
 		sort.Strings(types)
 		for _, k := range types {
 			st := s.Types[k]
-			mean := int64(0)
-			if st.Lat.Count > 0 {
-				mean = st.Lat.TotalNs / int64(st.Lat.Count)
-			}
-			fmt.Fprintf(&b, "  %-14s reads=%-5d writes=%-5d faults=%-3d errs=%-3d mean=%dus lat[%s]\n",
-				k, st.Reads, st.Writes, st.Faults, st.Errs, mean/1000, st.Lat.String())
+			fmt.Fprintf(&b, "  %-14s reads=%-5d writes=%-5d faults=%-3d errs=%-3d lat[%s]\n",
+				k, st.Reads, st.Writes, st.Faults, st.Errs, st.Lat.String())
 		}
 	}
 	return b.String()

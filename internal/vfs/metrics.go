@@ -1,0 +1,35 @@
+package vfs
+
+import "ironfs/internal/stat"
+
+// FSMetrics are the live-metrics handles every file system's journal
+// path records into, labeled by file system name so one registry can
+// host many mounts. Resolved once at construction; recording is an
+// atomic add (counters) or a sharded map update (histograms).
+type FSMetrics struct {
+	// Commits counts frozen transactions, at the same point the
+	// "commit" trace phase is emitted; TxnBlocks is the distribution of
+	// their sizes in blocks (metadata + ordered data).
+	Commits   *stat.Counter
+	TxnBlocks *stat.Histogram
+	// FsyncWait is the exact virtual-time cost of Fsync calls: how long
+	// a caller waited for durability, including any commit it joined or
+	// forced.
+	FsyncWait *stat.Histogram
+	// Replays counts journal replays at mount; Checkpoints counts
+	// checkpoint passes (ext3-family; zero elsewhere).
+	Replays     *stat.Counter
+	Checkpoints *stat.Counter
+}
+
+// NewFSMetrics resolves the handles for the named file system from the
+// process-wide registry.
+func NewFSMetrics(name string) FSMetrics {
+	return FSMetrics{
+		Commits:     stat.C("fs_commits_total", "fs", name),
+		TxnBlocks:   stat.H("fs_txn_blocks", "fs", name),
+		FsyncWait:   stat.H("fs_fsync_wait_ns", "fs", name),
+		Replays:     stat.C("fs_replays_total", "fs", name),
+		Checkpoints: stat.C("fs_checkpoints_total", "fs", name),
+	}
+}

@@ -82,22 +82,72 @@ func TestHealthStateMachine(t *testing.T) {
 	if h.State() != Healthy || h.CheckWrite() != nil || h.CheckRead() != nil {
 		t.Fatal("zero value not healthy")
 	}
-	h.Degrade(ReadOnly)
+	h.Degrade(ReadOnly, "journal", ErrIO)
 	if h.CheckWrite() != ErrReadOnly || h.CheckRead() != nil {
 		t.Fatal("read-only semantics wrong")
 	}
-	h.Degrade(Panicked)
+	h.Degrade(Panicked, "super", ErrCorrupt)
 	if h.CheckWrite() != ErrPanicked || h.CheckRead() != ErrPanicked {
 		t.Fatal("panicked semantics wrong")
 	}
 	// Degrading "up" is ignored.
-	h.Degrade(ReadOnly)
+	h.Degrade(ReadOnly, "journal", ErrIO)
 	if h.State() != Panicked {
 		t.Fatal("panicked state weakened")
 	}
 	h.Reset()
 	if h.State() != Healthy {
 		t.Fatal("reset failed")
+	}
+}
+
+func TestHealthTransitionLog(t *testing.T) {
+	var h Health
+	if h.Cause() != "" || len(h.Transitions()) != 0 {
+		t.Fatal("healthy state should have empty log")
+	}
+	// Repeated same-state degrades log only the real transition.
+	h.Degrade(ReadOnly, "journal", ErrIO)
+	h.Degrade(ReadOnly, "journal", ErrIO)
+	h.Degrade(Panicked, "super", ErrCorrupt)
+	h.Degrade(ReadOnly, "journal", ErrIO) // ignored: would weaken
+	log := h.Transitions()
+	if len(log) != 2 {
+		t.Fatalf("want 2 transitions, got %d: %+v", len(log), log)
+	}
+	if log[0] != (Transition{From: Healthy, To: ReadOnly, Subsystem: "journal", Cause: ErrIO.Error()}) {
+		t.Errorf("first transition wrong: %+v", log[0])
+	}
+	if log[1] != (Transition{From: ReadOnly, To: Panicked, Subsystem: "super", Cause: ErrCorrupt.Error()}) {
+		t.Errorf("second transition wrong: %+v", log[1])
+	}
+	if want := "super: " + ErrCorrupt.Error(); h.Cause() != want {
+		t.Errorf("Cause() = %q want %q", h.Cause(), want)
+	}
+	// The returned slice is a copy.
+	log[0].Subsystem = "mutated"
+	if h.Transitions()[0].Subsystem != "journal" {
+		t.Error("Transitions() aliased internal log")
+	}
+	// A nil cause is allowed.
+	h.Reset()
+	h.Degrade(ReadOnly, "scrub", nil)
+	if h.Cause() != "scrub" {
+		t.Errorf("nil-cause Cause() = %q", h.Cause())
+	}
+	h.Reset()
+	if len(h.Transitions()) != 0 {
+		t.Fatal("Reset did not clear log")
+	}
+	// The log is bounded even under a pathological degrade loop.
+	for i := 0; i < 100; i++ {
+		h.Degrade(ReadOnly, "journal", ErrIO)
+		if i%2 == 1 {
+			h.state = Healthy // reach inside to force re-degrades
+		}
+	}
+	if n := len(h.Transitions()); n > maxTransitions {
+		t.Fatalf("log unbounded: %d entries", n)
 	}
 }
 

@@ -84,7 +84,13 @@ type MultiClientRunJSON struct {
 	OpsPerSec float64 `json:"ops_per_sec"`
 	// MeanLatencyNs is the mean per-op latency (queueing included).
 	MeanLatencyNs int64 `json:"mean_latency_ns"`
-	// Latency is the log2-bucket latency histogram, rendered.
+	// P50Ns/P99Ns/P999Ns are exact nearest-rank order statistics of the
+	// per-op latency distribution — the simulated clock is deterministic,
+	// so these are true quantiles, not bucketed estimates.
+	P50Ns  int64 `json:"p50_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	P999Ns int64 `json:"p999_ns"`
+	// Latency is the latency distribution's headline statistics, rendered.
 	Latency string `json:"latency"`
 }
 
@@ -110,8 +116,10 @@ func runJSON(r MultiClientReport) MultiClientRunJSON {
 		Ops: r.Ops, SimTimeNs: int64(r.SimTime), OpsPerSec: r.OpsPerSec,
 		Latency: r.Lat.String(),
 	}
-	if r.Lat.Count > 0 {
-		out.MeanLatencyNs = r.Lat.TotalNs / int64(r.Lat.Count)
+	if r.Lat.Count() > 0 {
+		out.MeanLatencyNs = r.Lat.Mean()
+		q := r.Lat.Quantiles(0.50, 0.99, 0.999)
+		out.P50Ns, out.P99Ns, out.P999Ns = q[0], q[1], q[2]
 	}
 	return out
 }

@@ -7,6 +7,7 @@ import (
 	"ironfs/internal/disk"
 	"ironfs/internal/fs"
 	"ironfs/internal/sched"
+	"ironfs/internal/stat"
 	"ironfs/internal/trace"
 	"ironfs/internal/vfs"
 )
@@ -99,8 +100,9 @@ type MultiClientReport struct {
 	// Lat is the per-op latency distribution, measured as the simulated
 	// clock delta around each client call. Under concurrency a client's
 	// delta includes time other clients spent on the disk arm — that is
-	// queueing latency, and it is the honest number.
-	Lat trace.Histogram
+	// queueing latency, and it is the honest number. Exact per-value
+	// counts, so p50/p99/p999 are true order statistics.
+	Lat *trace.Histogram
 	// Sched is the scheduler's counters for the run (zero at depth ≤ 1).
 	Sched sched.Stats
 }
@@ -124,7 +126,7 @@ func mcOptions(name string) fs.Options {
 // mcClient tracks one client's contribution.
 type mcClient struct {
 	ops int
-	lat trace.Histogram
+	lat *trace.Histogram
 	// vt is the client's virtual timeline: the simulated instant this
 	// client finishes digesting its latest op. It never falls behind the
 	// shared clock (a client blocked on the disk or the FS lock is not
@@ -188,7 +190,7 @@ func RunMultiClient(cfg MultiClientConfig) (MultiClientReport, error) {
 
 	clients := make([]*mcClient, cfg.Clients)
 	for i := range clients {
-		clients[i] = &mcClient{}
+		clients[i] = &mcClient{lat: stat.NewHistogram()}
 	}
 	start := clk.Now()
 	if err := run(fsys, clk, clients); err != nil {
@@ -217,14 +219,11 @@ func RunMultiClient(cfg MultiClientConfig) (MultiClientReport, error) {
 		FS: cfg.FS, Workload: cfg.Workload,
 		Clients: cfg.Clients, QueueDepth: cfg.QueueDepth,
 		SimTime: elapsed, Sched: sc.Stats(),
+		Lat: stat.NewHistogram(),
 	}
 	for _, c := range clients {
 		rep.Ops += c.ops
-		for i, n := range c.lat.Buckets {
-			rep.Lat.Buckets[i] += n
-		}
-		rep.Lat.Count += c.lat.Count
-		rep.Lat.TotalNs += c.lat.TotalNs
+		rep.Lat.Merge(c.lat)
 	}
 	if elapsed > 0 {
 		rep.OpsPerSec = float64(rep.Ops) / elapsed.Seconds()

@@ -36,8 +36,8 @@ func TestMultiClientAllFS(t *testing.T) {
 				if rep.Ops != want {
 					t.Errorf("Ops = %d, want %d", rep.Ops, want)
 				}
-				if rep.Lat.Count != rep.Ops {
-					t.Errorf("latency histogram holds %d samples, want %d", rep.Lat.Count, rep.Ops)
+				if rep.Lat.Count() != int64(rep.Ops) {
+					t.Errorf("latency histogram holds %d samples, want %d", rep.Lat.Count(), rep.Ops)
 				}
 				if rep.SimTime <= 0 || rep.OpsPerSec <= 0 {
 					t.Errorf("SimTime = %v, OpsPerSec = %v", rep.SimTime, rep.OpsPerSec)

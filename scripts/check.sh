@@ -57,4 +57,18 @@ cmp "$vetdir/hunt1.json" "$vetdir/hunt2.json" || {
 	exit 1
 }
 
+# ironstat gate (docs/OBSERVABILITY.md): the live-metrics snapshot of a
+# fault campaign must be byte-identical across two identical runs — every
+# counter and exact-quantile histogram derives from the simulated clock
+# and the seeded fault RNG, so divergence is nondeterminism leaking into
+# the stack. The fp mode also self-checks that the iron-taxonomy counters
+# reconcile with the fingerprint matrices before it exits 0.
+go build -o "$vetdir/ironstat" ./cmd/ironstat
+"$vetdir/ironstat" -mode fp -fs ext3 -fault read -json -out "$vetdir/stat1.json"
+"$vetdir/ironstat" -mode fp -fs ext3 -fault read -json -out "$vetdir/stat2.json"
+"$vetdir/ironstat" -diff "$vetdir/stat1.json" "$vetdir/stat2.json" > /dev/null || {
+	echo "check: ironstat snapshots differ between identical runs" >&2
+	exit 1
+}
+
 echo "check: all gates passed"
