@@ -30,11 +30,11 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"ironfs/internal/cli"
 	"ironfs/internal/fs"
 	"ironfs/internal/workload"
 )
@@ -44,11 +44,11 @@ func main() {
 	single := flag.Bool("single", false, "run only the single-mechanism rows plus the full combination")
 	space := flag.Bool("space", false, "run the space-overhead study")
 	benchName := flag.String("bench", "", "restrict to one workload (SSH, Web, Post, TPCB)")
-	asJSON := flag.Bool("json", false, "emit results as a JSON document instead of rendered tables")
+	asJSON := cli.JSONFlag("emit results as a JSON document instead of rendered tables")
 	multi := flag.Bool("multiclient", false, "run the multi-client scheduler study instead of Table 6")
 	clients := flag.Int("clients", 4, "multiclient: concurrent client goroutines")
 	depth := flag.Int("depth", 32, "multiclient: scheduler queue depth")
-	fsName := flag.String("fs", "", "multiclient/fsck: restrict to one file system (default: all)")
+	fsName := cli.FSFlag("", fs.Names())
 	fsckBench := flag.Bool("fsck", false, "run the fsck serial-vs-parallel study instead of Table 6")
 	fsckWorkers := flag.Int("fsck-workers", 4, "fsck: parallel worker count")
 	flag.Parse()
@@ -115,12 +115,13 @@ func main() {
 		}
 	}
 
+	names, err := cli.ResolveFS(*fsName, fs.Names())
+	if err != nil {
+		cli.Usagef("ironbench", "%v", err)
+	}
+
 	if *multi {
 		var rows []workload.MultiClientRow
-		names := fs.Names()
-		if *fsName != "" {
-			names = []string{*fsName}
-		}
 		for _, name := range names {
 			for _, wl := range workload.MultiClientWorkloads() {
 				row, err := workload.RunMultiClientComparison(name, wl, *clients, *depth)
@@ -149,10 +150,6 @@ func main() {
 
 	if *fsckBench {
 		var rows []workload.FsckRow
-		names := fs.Names()
-		if *fsName != "" {
-			names = []string{*fsName}
-		}
 		for _, name := range names {
 			row, err := workload.RunFsckBench(name, *fsckWorkers)
 			if err != nil {
@@ -177,11 +174,8 @@ func main() {
 	}
 
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(doc); err != nil {
-			fmt.Fprintf(os.Stderr, "ironbench: %v\n", err)
-			os.Exit(1)
+		if err := cli.WriteJSON(os.Stdout, doc); err != nil {
+			cli.Fatalf("ironbench", "%v", err)
 		}
 	}
 }

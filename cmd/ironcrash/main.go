@@ -36,12 +36,11 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 
+	"ironfs/internal/cli"
 	"ironfs/internal/faultinject"
 	"ironfs/internal/fingerprint"
 	"ironfs/internal/fstest"
@@ -55,25 +54,22 @@ func main() {
 	points := flag.Int("points", 0, "max crash points per cell (0 = every write)")
 	window := flag.Int("window", 0, "write-cache reordering window in blocks (default 16)")
 	samples := flag.Int("samples", 0, "sampled subsets per large window (default 8)")
-	seed := flag.Int64("seed", faultinject.DefaultSeed, "enumeration seed (exploration is deterministic per seed)")
+	seed := cli.SeedFlag("enumeration seed (exploration is deterministic per seed)")
 	depth := flag.Int("depth", 1, "scheduler queue depth between FS and write cache (1 = passthrough)")
 	short := flag.Bool("short", false, "smoke mode: few crash points, small windows")
 	verbose := flag.Bool("v", false, "print the first silently corrupt state per cell")
-	traceFile := flag.String("trace", "", "dump workload and per-state evidence traces as NDJSON to FILE (- for stdout)")
+	traceFile := cli.TraceFlag("dump workload and per-state evidence traces as NDJSON to FILE (- for stdout)")
 	huntSeed := flag.Int64("hunt-seed", 0, "replace named workloads with sequences from the ironhunt generator at this seed")
 	huntOps := flag.Int("ops", 0, "-hunt-seed: max ops per generated sequence (default 3)")
 	flag.Parse()
 
 	var targets []fstest.ExploreTarget
-	if *fsName == "all" {
-		targets = fingerprint.CrashTargets()
-	} else {
-		t, err := fingerprint.CrashTargetByName(*fsName)
+	for _, name := range resolveCrashFS(*fsName) {
+		t, err := fingerprint.CrashTargetByName(name)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ironcrash: %v\n", err)
-			os.Exit(2)
+			cli.Usagef("ironcrash", "%v", err)
 		}
-		targets = []fstest.ExploreTarget{t}
+		targets = append(targets, t)
 	}
 
 	huntMode := false
@@ -124,20 +120,9 @@ func main() {
 		cfg.Policy.Samples = 4
 	}
 
-	var traceOut io.Writer
-	var traceFlush func() error
-	if *traceFile == "-" {
-		traceOut = os.Stdout
-	} else if *traceFile != "" {
-		f, err := os.Create(*traceFile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ironcrash: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		bw := bufio.NewWriter(f)
-		traceFlush = bw.Flush
-		traceOut = bw
+	traceOut, traceClose, err := cli.TraceWriter(*traceFile)
+	if err != nil {
+		cli.Fatalf("ironcrash", "%v", err)
 	}
 	cfg.Trace = traceOut != nil
 
@@ -181,14 +166,25 @@ func main() {
 			}
 		}
 	}
-	if traceFlush != nil {
-		if err := traceFlush(); err != nil {
-			fmt.Fprintf(os.Stderr, "ironcrash: flushing trace: %v\n", err)
-			exit = 1
-		}
+	if err := traceClose(); err != nil {
+		fmt.Fprintf(os.Stderr, "ironcrash: flushing trace: %v\n", err)
+		exit = 1
 	}
 	fmt.Println()
 	fmt.Println("ok = consistent, nothing flagged | detected = damage flagged and contained")
 	fmt.Println("refused = recovery rejected the image | SILENT = inconsistent and never flagged")
 	os.Exit(exit)
+}
+
+// resolveCrashFS expands "" / "all" into every crash target name; any
+// other value is passed through for CrashTargetByName to vet.
+func resolveCrashFS(v string) []string {
+	if v == "" || v == "all" {
+		var names []string
+		for _, t := range fingerprint.CrashTargets() {
+			names = append(names, t.Name)
+		}
+		return names
+	}
+	return []string{v}
 }

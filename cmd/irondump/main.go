@@ -15,21 +15,22 @@ import (
 	"os"
 	"sort"
 
+	"ironfs/internal/cli"
 	"ironfs/internal/disk"
 	"ironfs/internal/fingerprint"
+	"ironfs/internal/fs"
 	"ironfs/internal/iron"
 	"ironfs/internal/vfs"
 )
 
 func main() {
-	fsName := flag.String("fs", "ext3", "file system to build and dump")
+	fsName := cli.FSFlag("ext3", fs.Names())
 	blocks := flag.Int64("blocks", 4096, "simulated disk size in 4 KiB blocks")
 	flag.Parse()
 
 	t, ok := fingerprint.ByName(*fsName)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "irondump: unknown file system %q\n", *fsName)
-		os.Exit(2)
+		cli.Usagef("irondump", "unknown file system %q", *fsName)
 	}
 
 	d, err := disk.New(*blocks, disk.DefaultGeometry(), nil)

@@ -15,42 +15,41 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
-	"io"
-	"os"
 
-	"ironfs/internal/faultinject"
+	"ironfs/internal/cli"
 	"ironfs/internal/fingerprint"
+	"ironfs/internal/fs"
 	"ironfs/internal/iron"
 	"ironfs/internal/trace"
 )
 
 func main() {
-	fsName := flag.String("fs", "all", "file system to fingerprint (ext3, reiserfs, jfs, ntfs, ixt3, all)")
+	fsName := cli.FSFlag("all", fs.Names())
 	faultName := flag.String("fault", "all", "fault class to print (read, write, corrupt, all)")
 	summary := flag.Bool("summary", false, "print the Table 5 technique summary over ext3/reiserfs/jfs")
 	robust := flag.Bool("robust", false, "print detected/recovered scenario counts (the §6.2 robustness metric)")
 	transient := flag.Bool("transient", false, "run the transient-fault tolerance study (§5.6: retry is underutilized)")
-	seed := flag.Int64("seed", faultinject.DefaultSeed, "corruption-noise RNG seed (log this to reproduce a run)")
-	traceFile := flag.String("trace", "", "dump per-scenario evidence traces as NDJSON to FILE (- for stdout)")
+	seed := cli.SeedFlag("corruption-noise RNG seed (log this to reproduce a run)")
+	traceFile := cli.TraceFlag("dump per-scenario evidence traces as NDJSON to FILE (- for stdout)")
 	flag.Parse()
 
 	// Always log the seed so a corruption-noise failure in any run can be
 	// replayed exactly with -seed.
 	fmt.Printf("ironfp: corruption RNG seed %#x\n", *seed)
 
+	fsNames, err := cli.ResolveFS(*fsName, fs.Names())
+	if err != nil {
+		cli.Usagef("ironfp", "%v", err)
+	}
 	var targets []fingerprint.Target
-	if *fsName == "all" {
-		targets = fingerprint.Targets()
-	} else {
-		t, ok := fingerprint.ByName(*fsName)
+	for _, name := range fsNames {
+		t, ok := fingerprint.ByName(name)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "ironfp: unknown file system %q\n", *fsName)
-			os.Exit(2)
+			cli.Usagef("ironfp", "unknown file system %q", name)
 		}
-		targets = []fingerprint.Target{t}
+		targets = append(targets, t)
 	}
 
 	var faults []iron.FaultClass
@@ -64,31 +63,20 @@ func main() {
 	case "all":
 		faults = []iron.FaultClass{iron.ReadFailure, iron.WriteFailure, iron.Corruption}
 	default:
-		fmt.Fprintf(os.Stderr, "ironfp: unknown fault class %q\n", *faultName)
-		os.Exit(2)
+		cli.Usagef("ironfp", "unknown fault class %q", *faultName)
 	}
 
-	var traceOut io.Writer
-	if *traceFile == "-" {
-		traceOut = os.Stdout
-	} else if *traceFile != "" {
-		f, err := os.Create(*traceFile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ironfp: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		bw := bufio.NewWriter(f)
-		defer bw.Flush()
-		traceOut = bw
+	traceOut, traceClose, err := cli.TraceWriter(*traceFile)
+	if err != nil {
+		cli.Fatalf("ironfp", "%v", err)
 	}
+	defer traceClose()
 
 	var counts []iron.TechniqueCounts
 	for _, t := range targets {
 		res, err := fingerprint.Run(t, fingerprint.Config{Faults: faults, Seed: *seed, Trace: traceOut != nil})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ironfp: %v\n", err)
-			os.Exit(1)
+			cli.Fatalf("ironfp", "%v", err)
 		}
 		if traceOut != nil {
 			for _, s := range res.Scenarios {
@@ -96,8 +84,7 @@ func main() {
 					continue
 				}
 				if err := trace.WriteNDJSON(traceOut, s.Trace); err != nil {
-					fmt.Fprintf(os.Stderr, "ironfp: writing trace: %v\n", err)
-					os.Exit(1)
+					cli.Fatalf("ironfp", "writing trace: %v", err)
 				}
 			}
 		}
@@ -121,8 +108,7 @@ func main() {
 	if *transient {
 		reports, err := fingerprint.RunTransientStudy(targets)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ironfp: %v\n", err)
-			os.Exit(1)
+			cli.Fatalf("ironfp", "%v", err)
 		}
 		fmt.Println("Transient-fault tolerance (one-shot faults a single retry would absorb):")
 		fmt.Println(fingerprint.RenderTransient(reports))

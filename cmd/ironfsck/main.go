@@ -35,14 +35,12 @@
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
-	"ironfs/internal/disk"
+	"ironfs/internal/cli"
 	"ironfs/internal/fs"
 	"ironfs/internal/fs/ext3"
 	"ironfs/internal/fsck"
@@ -120,11 +118,11 @@ func usage() {
 }
 
 func main() {
-	fsName := flag.String("fs", "", "restrict to one file system (default: all registered; scrub: ext3 and ixt3)")
+	fsName := cli.FSFlag("", fs.Names())
 	parallel := flag.Int("parallel", 4, "check/repair: worker count for the check's verify stages")
 	damage := flag.Int("damage", 24, "allocation-bitmap bits to flip before running the verb")
-	asJSON := flag.Bool("json", false, "emit a JSON report instead of text")
-	traceFile := flag.String("trace", "", "write the semantic block trace as NDJSON to FILE (\"-\" = stdout)")
+	asJSON := cli.JSONFlag("emit a JSON report instead of text")
+	traceFile := cli.TraceFlag("write the semantic block trace as NDJSON to FILE (\"-\" = stdout)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -144,32 +142,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	names := fs.Names()
+	domain := fs.Names()
 	if verb == "scrub" {
-		names = []string{"ext3", "ixt3"}
+		domain = []string{"ext3", "ixt3"}
 	}
-	if *fsName != "" {
-		if _, err := fs.BlockTypes(*fsName); err != nil {
-			fmt.Fprintf(os.Stderr, "ironfsck: %v\n", err)
-			os.Exit(2)
-		}
-		names = []string{*fsName}
+	names, err := cli.ResolveFS(*fsName, domain)
+	if err != nil {
+		cli.Usagef("ironfsck", "%v", err)
 	}
 
-	var traceOut io.Writer
-	var traceFlush func() error
-	if *traceFile == "-" {
-		traceOut = os.Stdout
-	} else if *traceFile != "" {
-		f, err := os.Create(*traceFile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ironfsck: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		bw := bufio.NewWriter(f)
-		traceFlush = bw.Flush
-		traceOut = bw
+	traceOut, traceClose, err := cli.TraceWriter(*traceFile)
+	if err != nil {
+		cli.Fatalf("ironfsck", "%v", err)
 	}
 
 	doc := report{Verb: verb}
@@ -189,18 +173,12 @@ func main() {
 		}
 	}
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(doc); err != nil {
-			fmt.Fprintf(os.Stderr, "ironfsck: %v\n", err)
-			os.Exit(1)
+		if err := cli.WriteJSON(os.Stdout, doc); err != nil {
+			cli.Fatalf("ironfsck", "%v", err)
 		}
 	}
-	if traceFlush != nil {
-		if err := traceFlush(); err != nil {
-			fmt.Fprintf(os.Stderr, "ironfsck: trace: %v\n", err)
-			os.Exit(1)
-		}
+	if err := traceClose(); err != nil {
+		cli.Fatalf("ironfsck", "trace: %v", err)
 	}
 	os.Exit(exit)
 }
@@ -238,16 +216,10 @@ func printText(r fsReport) {
 	}
 }
 
-// buildVolume formats, populates, and cleanly unmounts the named file
-// system on d, then injects the bitmap damage. Returns the bits flipped.
-func buildVolume(name string, d *disk.Disk, opts fs.Options, damage int) (int, error) {
-	if err := fs.Mkfs(name, d, opts); err != nil {
-		return 0, fmt.Errorf("mkfs: %w", err)
-	}
-	fsys, err := fs.Mount(name, d, opts)
-	if err != nil {
-		return 0, fmt.Errorf("mount: %w", err)
-	}
+// buildVolume populates vol's freshly formatted file system, cleanly
+// unmounts it, then injects the bitmap damage. Returns the bits flipped.
+func buildVolume(vol *fs.Volume, damage int) (int, error) {
+	fsys := vol.FS
 	payload := make([]byte, volFileBlocks*4096)
 	for i := range payload {
 		payload[i] = byte(i % 251)
@@ -272,7 +244,7 @@ func buildVolume(name string, d *disk.Disk, opts fs.Options, damage int) (int, e
 	if damage <= 0 {
 		return 0, nil
 	}
-	n, err := fs.DamageBitmaps(name, d, damage)
+	n, err := fs.DamageBitmaps(vol.Name, vol.Disk, damage)
 	if err != nil {
 		return n, fmt.Errorf("damage: %w", err)
 	}
@@ -288,18 +260,15 @@ func runOne(verb, name string, parallel, damage int, traceOut io.Writer) (fsRepo
 		opts = fs.Options{Mc: true, Mr: true}
 	}
 
-	clk := disk.NewClock()
-	d, err := disk.New(volBlocks, disk.DefaultGeometry(), clk)
+	vol, err := fs.MountVolume(fs.MountOpts{
+		FS: name, Opts: opts, Blocks: volBlocks, Trace: traceOut != nil,
+	})
 	if err != nil {
 		return r, err
 	}
-	var tr *trace.Tracer
-	if traceOut != nil {
-		tr = trace.New(func() int64 { return int64(clk.Now()) })
-		d.SetTracer(tr)
-		tr.Mark(fmt.Sprintf("ironfsck %s %s", verb, name))
-	}
-	if r.Flipped, err = buildVolume(name, d, opts, damage); err != nil {
+	d, tr := vol.Disk, vol.Tracer
+	tr.Mark(fmt.Sprintf("ironfsck %s %s", verb, name))
+	if r.Flipped, err = buildVolume(vol, damage); err != nil {
 		return r, err
 	}
 

@@ -39,6 +39,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"ironfs/internal/cli"
 	"ironfs/internal/faultinject"
 	"ironfs/internal/fingerprint"
 	"ironfs/internal/hunt"
@@ -53,9 +54,9 @@ func main() {
 	fsName := flag.String("fs", "all", "hunt target (ext3, ext3-nobarrier, ixt3, reiserfs, jfs, ntfs, all)")
 	maxOps := flag.Int("len", 0, "max ops per sequence (default 3)")
 	maxSeqs := flag.Int("seqs", 0, "sequences sampled from the enumeration (default 400, <0 = all)")
-	seed := flag.Int64("seed", faultinject.DefaultSeed, "generator/enumeration seed (hunts are deterministic per seed)")
+	seed := cli.SeedFlag("generator/enumeration seed (hunts are deterministic per seed)")
 	quick := flag.Bool("quick", false, "smoke bounds: length <= 2, full enumeration (CI gate)")
-	jsonOut := flag.Bool("json", false, "emit results as JSON (byte-identical across runs)")
+	jsonOut := cli.JSONFlag("emit results as JSON (byte-identical across runs)")
 	outDir := flag.String("out", "", "write each bug's repro artifact into DIR")
 	reproFile := flag.String("repro", "", "replay one repro artifact and verify its verdict")
 	fsckMode := flag.Bool("fsck", false, "hunt mid-repair crashes in ironfsck instead of workload crashes")
@@ -67,7 +68,7 @@ func main() {
 	}
 
 	var targets []fingerprint.HuntTarget
-	if *fsName == "all" {
+	if *fsName == "all" || *fsName == "" {
 		targets = fingerprint.HuntTargets()
 	} else {
 		ht, err := fingerprint.HuntTargetByName(*fsName)

@@ -1,0 +1,289 @@
+// Command ironserve hosts one volume per file system behind the
+// multi-tenant volume API and runs a deterministic serving session
+// against them: every request verb, weighted tenants, and a mid-run
+// device failure on one volume so the health routing shows itself.
+// ReiserFS panics on its first write failure (the paper's RStop
+// extreme), so its volume drains — queued work completes with
+// ErrVolumeUnavailable and later submissions are refused at admission —
+// while every other volume keeps serving.
+//
+// The session table shows, per volume: final health, served and failed
+// requests; per tenant: admissions, rejections, and exact latency
+// percentiles. With -json the same data is emitted canonically
+// (byte-identical across runs at one seed).
+//
+// Exit status: 0 on a completed session, 1 on setup errors, 2 usage.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ironfs/internal/cli"
+	"ironfs/internal/disk"
+	"ironfs/internal/faultinject"
+	"ironfs/internal/fs"
+	"ironfs/internal/iron"
+	"ironfs/internal/serve"
+)
+
+type volSummary struct {
+	Volume  string `json:"volume"`
+	FS      string `json:"fs"`
+	Health  string `json:"health"`
+	Cause   string `json:"cause,omitempty"`
+	Served  int64  `json:"served"`
+	Failed  int64  `json:"failed"`
+	Refused int64  `json:"refused"`
+}
+
+type tenantSummary struct {
+	Tenant   string `json:"tenant"`
+	Weight   int    `json:"weight"`
+	Ops      int64  `json:"ops"`
+	Rejected int64  `json:"rejected"`
+	P50Ns    int64  `json:"p50_ns"`
+	P99Ns    int64  `json:"p99_ns"`
+}
+
+type sessionReport struct {
+	Seed      int64           `json:"seed"`
+	Ops       int             `json:"ops"`
+	SimTimeNs int64           `json:"sim_time_ns"`
+	Volumes   []volSummary    `json:"volumes"`
+	Tenants   []tenantSummary `json:"tenants"`
+	// Unavailable counts typed ErrVolumeUnavailable refusals observed
+	// after the ReiserFS volume panicked; Untyped counts refusals that
+	// were not typed (must stay 0).
+	Unavailable int64 `json:"unavailable"`
+	Untyped     int64 `json:"untyped"`
+}
+
+func main() {
+	fsName := cli.FSFlag("all", fs.Names())
+	seed := cli.SeedFlag("session seed (sessions are deterministic per seed)")
+	ops := flag.Int("ops", 400, "requests per tenant pair to attempt")
+	jsonOut := cli.JSONFlag("emit the session summary as JSON")
+	outFile := cli.OutFlag("write output to FILE instead of stdout")
+	flag.Parse()
+
+	names, err := cli.ResolveFS(*fsName, fs.Names())
+	if err != nil {
+		cli.Usagef("ironserve", "%v", err)
+	}
+
+	rep, err := runSession(names, *seed, *ops)
+	if err != nil {
+		cli.Fatalf("ironserve", "%v", err)
+	}
+	w, closeOut, err := cli.OutputWriter(*outFile)
+	if err != nil {
+		cli.Fatalf("ironserve", "%v", err)
+	}
+	if *jsonOut {
+		if err := cli.WriteJSON(w, rep); err != nil {
+			cli.Fatalf("ironserve", "%v", err)
+		}
+	} else {
+		printSession(w, rep)
+	}
+	if err := closeOut(); err != nil {
+		cli.Fatalf("ironserve", "%v", err)
+	}
+}
+
+// runSession hosts one volume per named FS, two tenants (gold at weight
+// 4, best-effort at weight 1 with a rate cap), and drives a seeded mix
+// of every verb. Halfway through, the reiserfs volume (when hosted) is
+// struck with a sticky write failure; stock ReiserFS panics and the
+// serving tier drains it.
+func runSession(names []string, seed int64, ops int) (*sessionReport, error) {
+	clk := disk.NewClock()
+	s := serve.New(clk)
+	vols := make(map[string]*fs.Volume, len(names))
+	volIDs := make([]string, 0, len(names))
+	for _, name := range names {
+		id := "vol-" + name
+		// ReiserFS runs at queue depth 1: a deeper write cache would
+		// absorb the injected write failure until the next barrier,
+		// where it surfaces as a plain EIO the panic policy never sees
+		// — exactly the error-attribution loss the paper warns write
+		// caching causes. Synchronous writes keep the demo's panic
+		// reachable.
+		depth := 8
+		if name == "reiserfs" {
+			depth = 1
+		}
+		v, err := s.AddVolume(id, fs.MountOpts{FS: name, Faults: true, Seed: seed, QueueDepth: depth})
+		if err != nil {
+			return nil, err
+		}
+		vols[id] = v
+		volIDs = append(volIDs, id)
+	}
+	tenants := []struct {
+		name string
+		cfg  serve.TenantConfig
+	}{
+		{"gold", serve.TenantConfig{Weight: 4, QueueCap: 128}},
+		{"best-effort", serve.TenantConfig{Weight: 1, RateOps: 400, Burst: 32, QueueCap: 64}},
+	}
+	for _, t := range tenants {
+		if err := s.AddTenant(t.name, t.cfg); err != nil {
+			return nil, err
+		}
+	}
+	// Seed each volume with a small tree through the API itself: the
+	// session exercises Mkdir/Create/Write/Fsync before the mixed phase.
+	for _, id := range volIDs {
+		for _, req := range []*serve.Request{
+			{Volume: id, Tenant: "gold", Op: serve.OpMkdir, Path: "/work"},
+			{Volume: id, Tenant: "gold", Op: serve.OpCreate, Path: "/work/a"},
+			{Volume: id, Tenant: "gold", Op: serve.OpCreate, Path: "/work/b"},
+			{Volume: id, Tenant: "gold", Op: serve.OpWrite, Path: "/work/a", Data: make([]byte, 8192)},
+			{Volume: id, Tenant: "gold", Op: serve.OpFsync, Path: "/work/a"},
+			{Volume: id, Tenant: "gold", Op: serve.OpSync},
+		} {
+			if _, err := s.Submit(req); err != nil {
+				return nil, fmt.Errorf("setup %s: %w", id, err)
+			}
+		}
+	}
+	s.Drain()
+
+	rep := &sessionReport{Seed: seed, Ops: ops}
+	served := map[string]*volSummary{}
+	for i, id := range volIDs {
+		served[id] = &volSummary{Volume: id, FS: names[i]}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i % 249)
+	}
+	account := func(resp *serve.Response) {
+		vs := served[resp.Volume]
+		if resp.Err == nil {
+			vs.Served++
+		} else if re := (*serve.RouteError)(nil); errors.As(resp.Err, &re) {
+			vs.Refused++
+		} else {
+			vs.Failed++
+		}
+	}
+	tcount := map[string]*tenantSummary{
+		"gold":        {Tenant: "gold", Weight: 4},
+		"best-effort": {Tenant: "best-effort", Weight: 1},
+	}
+	for i := 0; i < ops; i++ {
+		if i == ops/2 {
+			// The bad half: a sticky write failure on the reiserfs
+			// volume. Stock ReiserFS panics on any write failure.
+			if v, ok := vols["vol-reiserfs"]; ok {
+				v.Faults.Arm(&faultinject.Fault{Class: iron.WriteFailure, Sticky: true})
+			}
+		}
+		for _, tn := range []string{"gold", "best-effort"} {
+			id := volIDs[rng.Intn(len(volIDs))]
+			req := &serve.Request{Volume: id, Tenant: tn}
+			switch p := rng.Intn(100); {
+			case p < 30:
+				req.Op, req.Path, req.Size = serve.OpRead, "/work/a", 4096
+			case p < 55:
+				req.Op, req.Path, req.Data = serve.OpWrite, "/work/a", payload
+			case p < 65:
+				req.Op, req.Path = serve.OpStat, "/work/b"
+			case p < 72:
+				req.Op, req.Path = serve.OpOpen, "/work/a"
+			case p < 80:
+				req.Op, req.Path = serve.OpCreate, fmt.Sprintf("/work/t%d", i)
+			case p < 86:
+				req.Op, req.Path, req.Path2 = serve.OpRename, fmt.Sprintf("/work/t%d", i-6), fmt.Sprintf("/work/r%d", i)
+			case p < 92:
+				req.Op, req.Path = serve.OpUnlink, fmt.Sprintf("/work/r%d", i-6)
+			case p < 97:
+				req.Op, req.Path = serve.OpFsync, "/work/a"
+			default:
+				req.Op = serve.OpSync
+			}
+			if _, err := s.Submit(req); err != nil {
+				tcount[tn].Rejected++
+				if errors.Is(err, serve.ErrVolumeUnavailable) {
+					rep.Unavailable++
+				} else if !errors.Is(err, serve.ErrThrottled) && !errors.Is(err, serve.ErrQueueFull) &&
+					!errors.Is(err, serve.ErrVolumeReadOnly) {
+					rep.Untyped++
+				}
+				continue
+			}
+		}
+		// Dispatch a few per round so queues stay bounded but SFQ has
+		// something to arbitrate.
+		for j := 0; j < 3; j++ {
+			resp, ok := s.Dispatch()
+			if !ok {
+				break
+			}
+			account(resp)
+			tcount[resp.Tenant].Ops++
+		}
+	}
+	for {
+		resp, ok := s.Dispatch()
+		if !ok {
+			break
+		}
+		account(resp)
+		tcount[resp.Tenant].Ops++
+	}
+
+	rep.SimTimeNs = int64(clk.Now())
+	for _, id := range volIDs {
+		vs := served[id]
+		h, err := s.VolumeHealth(id)
+		if err != nil {
+			return nil, err
+		}
+		vs.Health = h.String()
+		vs.Cause = vols[id].HealthCause()
+		rep.Volumes = append(rep.Volumes, *vs)
+	}
+	tnames := make([]string, 0, len(tcount))
+	for n := range tcount {
+		tnames = append(tnames, n)
+	}
+	sort.Strings(tnames)
+	for _, n := range tnames {
+		ts := tcount[n]
+		h := s.TenantHistogram(n)
+		q := h.Quantiles(0.50, 0.99)
+		ts.P50Ns, ts.P99Ns = q[0], q[1]
+		rep.Tenants = append(rep.Tenants, *ts)
+	}
+	return rep, nil
+}
+
+func printSession(w interface{ Write([]byte) (int, error) }, rep *sessionReport) {
+	fmt.Fprintf(w, "ironserve session: seed %#x, %d rounds, %s virtual\n\n",
+		rep.Seed, rep.Ops, disk.Duration(rep.SimTimeNs))
+	fmt.Fprintf(w, "%-14s %-9s %-10s %7s %7s %8s  %s\n",
+		"volume", "fs", "health", "served", "failed", "refused", "cause")
+	for _, v := range rep.Volumes {
+		fmt.Fprintf(w, "%-14s %-9s %-10s %7d %7d %8d  %s\n",
+			v.Volume, v.FS, v.Health, v.Served, v.Failed, v.Refused, v.Cause)
+	}
+	fmt.Fprintf(w, "\n%-12s %6s %7s %9s %12s %12s\n",
+		"tenant", "weight", "ops", "rejected", "p50", "p99")
+	for _, t := range rep.Tenants {
+		fmt.Fprintf(w, "%-12s %6d %7d %9d %12s %12s\n",
+			t.Tenant, t.Weight, t.Ops, t.Rejected,
+			disk.Duration(t.P50Ns), disk.Duration(t.P99Ns))
+	}
+	if rep.Unavailable > 0 {
+		fmt.Fprintf(w, "\n%d submissions refused ErrVolumeUnavailable after the panic (untyped: %d)\n",
+			rep.Unavailable, rep.Untyped)
+	}
+}

@@ -31,7 +31,7 @@ import (
 	"io"
 	"os"
 
-	"ironfs/internal/faultinject"
+	"ironfs/internal/cli"
 	"ironfs/internal/fingerprint"
 	"ironfs/internal/fs"
 	"ironfs/internal/iron"
@@ -50,14 +50,14 @@ type Doc struct {
 
 func main() {
 	mode := flag.String("mode", "fp", "workload to drive: fp (fingerprint campaign), bench (Table 6 benchmark), multi (multi-client study)")
-	fsName := flag.String("fs", "all", "file system to run (ext3, reiserfs, jfs, ntfs, ixt3, all)")
+	fsName := cli.FSFlag("all", fs.Names())
 	faultName := flag.String("fault", "all", "fp: fault class (read, write, corrupt, all)")
-	seed := flag.Int64("seed", faultinject.DefaultSeed, "fp: corruption-noise RNG seed")
+	seed := cli.SeedFlag("fp: corruption-noise RNG seed")
 	benchName := flag.String("bench", "SSH", "bench: workload (SSH, Web, Post, TPCB)")
 	clients := flag.Int("clients", 4, "multi: concurrent client goroutines")
 	depth := flag.Int("depth", 32, "multi: scheduler queue depth")
-	asJSON := flag.Bool("json", false, "emit the snapshot as JSON instead of a table")
-	outFile := flag.String("out", "", "write output to FILE instead of stdout")
+	asJSON := cli.JSONFlag("emit the snapshot as JSON instead of a table")
+	outFile := cli.OutFlag("write output to FILE instead of stdout")
 	diffMode := flag.Bool("diff", false, "compare two JSON snapshots: ironstat -diff A.json B.json")
 	flag.Parse()
 
@@ -87,27 +87,24 @@ func main() {
 		doc.Seed = *seed
 	}
 
-	var w io.Writer = os.Stdout
-	if *outFile != "" {
-		f, err := os.Create(*outFile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ironstat: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
+	w, closeOut, err := cli.OutputWriter(*outFile)
+	if err != nil {
+		cli.Fatalf("ironstat", "%v", err)
 	}
 	if *asJSON {
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(doc); err != nil {
-			fmt.Fprintf(os.Stderr, "ironstat: %v\n", err)
-			os.Exit(1)
+		if err := cli.WriteJSON(w, doc); err != nil {
+			cli.Fatalf("ironstat", "%v", err)
+		}
+		if err := closeOut(); err != nil {
+			cli.Fatalf("ironstat", "%v", err)
 		}
 		return
 	}
 	fmt.Fprintf(w, "ironstat: mode=%s fs=%s\n", doc.Mode, doc.FS)
 	io.WriteString(w, doc.Stats.Render())
+	if err := closeOut(); err != nil {
+		cli.Fatalf("ironstat", "%v", err)
+	}
 }
 
 // runFingerprint drives a fault-injection campaign and then proves the
@@ -193,9 +190,9 @@ func runBench(name string) error {
 // runMulti drives the multi-client comparison for the selected file
 // systems at the given concurrency.
 func runMulti(fsName string, clients, depth int) error {
-	names := fs.Names()
-	if fsName != "all" {
-		names = []string{fsName}
+	names, err := cli.ResolveFS(fsName, fs.Names())
+	if err != nil {
+		return err
 	}
 	for _, name := range names {
 		for _, wl := range workload.MultiClientWorkloads() {

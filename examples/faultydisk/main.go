@@ -15,7 +15,6 @@ import (
 	"ironfs/internal/faultinject"
 	"ironfs/internal/fingerprint"
 	"ironfs/internal/iron"
-	"ironfs/internal/vfs"
 )
 
 func main() {
@@ -115,10 +114,7 @@ func badDay(t fingerprint.Target) error {
 		lastErr = err
 	}
 
-	health := vfs.Healthy
-	if t.Health != nil {
-		health = t.Health(fs)
-	}
+	health := t.Health(fs)
 	fmt.Printf("%-9s health=%-10s api-errors=%d", t.Name, health, apiErrs)
 	if lastErr != nil {
 		fmt.Printf("  last: %v", lastErr)

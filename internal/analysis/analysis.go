@@ -201,7 +201,7 @@ func DefaultConfig() Config {
 		DegradeMethods: []string{"Degrade"},
 		SuccessFields:  []string{"Fixed", "Repaired"},
 
-		LockPkgs: []string{"ironfs/internal/fs", "ironfs/internal/sched", "ironfs/internal/bcache", "ironfs/internal/fsck"},
+		LockPkgs: []string{"ironfs/internal/fs", "ironfs/internal/sched", "ironfs/internal/bcache", "ironfs/internal/fsck", "ironfs/internal/serve"},
 
 		TracePkg:         "ironfs/internal/trace",
 		TracerType:       "Tracer",

@@ -1,0 +1,83 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestResolveFS(t *testing.T) {
+	domain := []string{"ext3", "reiserfs", "ixt3"}
+	for _, v := range []string{"", "all"} {
+		got, err := ResolveFS(v, domain)
+		if err != nil || len(got) != 3 || got[0] != "ext3" || got[2] != "ixt3" {
+			t.Fatalf("ResolveFS(%q) = %v, %v", v, got, err)
+		}
+	}
+	got, err := ResolveFS("reiserfs", domain)
+	if err != nil || len(got) != 1 || got[0] != "reiserfs" {
+		t.Fatalf("ResolveFS(reiserfs) = %v, %v", got, err)
+	}
+	_, err = ResolveFS("zfs", domain)
+	if err == nil || !strings.Contains(err.Error(), `"zfs"`) ||
+		!strings.Contains(err.Error(), "ext3, reiserfs, ixt3") {
+		t.Fatalf("ResolveFS(zfs) error = %v", err)
+	}
+	// The expansion is a copy: mutating it must not poison the domain.
+	all, _ := ResolveFS("all", domain)
+	all[0] = "poisoned"
+	if domain[0] != "ext3" {
+		t.Fatalf("ResolveFS aliases the caller's domain")
+	}
+}
+
+func TestTraceWriterOff(t *testing.T) {
+	w, closeFn, err := TraceWriter("")
+	if err != nil || w != nil {
+		t.Fatalf("TraceWriter(\"\") = %v, %v", w, err)
+	}
+	if err := closeFn(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestTraceWriterFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.ndjson")
+	w, closeFn, err := TraceWriter(path)
+	if err != nil {
+		t.Fatalf("TraceWriter: %v", err)
+	}
+	if _, err := w.Write([]byte("line\n")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := closeFn(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "line\n" {
+		t.Fatalf("file = %q, %v (buffered tail lost?)", b, err)
+	}
+}
+
+func TestEmitJSONCanonical(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.json")
+	v := map[string]any{"b": 2, "a": []int{1, 2}}
+	if err := EmitJSON(path, v); err != nil {
+		t.Fatalf("EmitJSON: %v", err)
+	}
+	b1, _ := os.ReadFile(path)
+	want := "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": 2\n}\n"
+	if string(b1) != want {
+		t.Fatalf("canonical form drifted:\n%q\nwant\n%q", b1, want)
+	}
+	// Byte-identity across runs is the property CI cmp-gates rely on.
+	path2 := filepath.Join(t.TempDir(), "v2.json")
+	if err := EmitJSON(path2, v); err != nil {
+		t.Fatalf("EmitJSON: %v", err)
+	}
+	b2, _ := os.ReadFile(path2)
+	if string(b1) != string(b2) {
+		t.Fatalf("EmitJSON is nondeterministic")
+	}
+}

@@ -102,18 +102,18 @@ func TestExt3TruncateFailsSilently(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, fdev, fs, _, err := instance(target, cfg, img, nil)
+	vol, err := instance(target, cfg, img, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Mount(); err != nil {
+	if err := vol.FS.Mount(); err != nil {
 		t.Fatal(err)
 	}
-	fdev.Arm(&faultinject.Fault{Class: iron.ReadFailure, Target: "indirect", Sticky: true})
-	if err := fs.Truncate(truncMe, 4096); err != nil {
+	vol.Faults.Arm(&faultinject.Fault{Class: iron.ReadFailure, Target: "indirect", Sticky: true})
+	if err := vol.FS.Truncate(truncMe, 4096); err != nil {
 		t.Errorf("truncate with failed indirect read returned %v; the reproduced bug returns success", err)
 	}
-	if fdev.Fired() == 0 {
+	if vol.Faults.Fired() == 0 {
 		t.Fatal("the indirect fault never fired")
 	}
 }

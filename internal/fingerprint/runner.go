@@ -5,6 +5,7 @@ import (
 
 	"ironfs/internal/disk"
 	"ironfs/internal/faultinject"
+	"ironfs/internal/fs"
 	"ironfs/internal/iron"
 	"ironfs/internal/trace"
 	"ironfs/internal/vfs"
@@ -196,15 +197,15 @@ func Run(t Target, cfg Config) (*Result, error) {
 // examine: the dirty workload is first dry-run to count its writes, then
 // re-run against a CrashDevice whose budget stops one write short.
 func buildImage(t Target, cfg Config, dirty bool) ([]byte, error) {
-	d, err := disk.New(cfg.DiskBlocks, disk.DefaultGeometry(), nil)
+	mo := t.MountOpts()
+	mo.Blocks = cfg.DiskBlocks
+	mo.NoMount = true // prepareImage runs the mount itself
+	vol, err := fs.MountVolume(mo)
 	if err != nil {
 		return nil, err
 	}
-	if err := t.Mkfs(d); err != nil {
-		return nil, err
-	}
-	fs := t.New(d, nil)
-	if err := prepareImage(fs); err != nil {
+	d := vol.Disk
+	if err := prepareImage(vol.FS); err != nil {
 		return nil, err
 	}
 	if t.Extra != nil {
@@ -257,85 +258,77 @@ func buildImage(t Target, cfg Config, dirty bool) ([]byte, error) {
 	return target.Snapshot(), nil
 }
 
-// instance builds a fresh (disk, fault layer, fs) stack over an image
-// snapshot, reporting into the given recorder (nil for fault-free golden
-// runs, so they record nothing — the taxonomy reconciliation depends on
-// faulted scenarios being the only source of iron_* counters). With
-// cfg.Trace, a tracer driven by the fresh disk's simulated clock is
-// attached before the upper layers are constructed (they capture it via
-// trace.Of), and recorder events are bridged into it.
-func instance(t Target, cfg Config, img []byte, rec *iron.Recorder) (*disk.Disk, *faultinject.Device, vfs.FileSystem, *trace.Tracer, error) {
-	d, err := disk.New(cfg.DiskBlocks, disk.DefaultGeometry(), nil)
-	if err != nil {
-		return nil, nil, nil, nil, err
-	}
-	if err := d.Restore(img); err != nil {
-		return nil, nil, nil, nil, err
-	}
-	var tr *trace.Tracer
-	if cfg.Trace {
-		tr = trace.New(func() int64 { return int64(d.Clock().Now()) })
-		d.SetTracer(tr)
-	}
-	fdev := faultinject.NewSeeded(d, t.NewResolver(d), cfg.Seed)
-	tr.BridgeRecorder(rec)
-	fs := t.New(fdev, rec)
-	return d, fdev, fs, tr, nil
+// instance builds a fresh volume — disk, fault layer, file system — over
+// an image snapshot via fs.MountVolume, reporting into the given recorder
+// (nil for fault-free golden runs, so they record nothing — the taxonomy
+// reconciliation depends on faulted scenarios being the only source of
+// iron_* counters). With cfg.Trace, the volume carries an evidence tracer
+// attached beneath every upper layer, with recorder events bridged in.
+// The file system is returned unmounted: each workload declares whether
+// it measures the mount itself.
+func instance(t Target, cfg Config, img []byte, rec *iron.Recorder) (*fs.Volume, error) {
+	mo := t.MountOpts()
+	mo.Blocks = cfg.DiskBlocks
+	mo.Image = img
+	mo.Faults = true
+	mo.Seed = cfg.Seed
+	mo.Recorder = rec
+	mo.Trace = cfg.Trace
+	mo.NoMount = true
+	return fs.MountVolume(mo)
 }
 
 // goldenTrace runs a workload fault-free and returns its per-type access
 // counts (the applicability mask).
 func goldenTrace(t Target, cfg Config, w Workload, img []byte) (map[iron.BlockType][2]int, error) {
-	_, fdev, fs, _, err := instance(t, cfg, img, nil)
+	vol, err := instance(t, cfg, img, nil)
 	if err != nil {
 		return nil, err
 	}
 	if w.Mounted {
-		if err := fs.Mount(); err != nil {
+		if err := vol.FS.Mount(); err != nil {
 			return nil, fmt.Errorf("golden mount: %w", err)
 		}
-		fdev.ResetTrace() // the mount column measures mount traffic alone
+		vol.Faults.ResetTrace() // the mount column measures mount traffic alone
 	}
-	if err := w.Run(fs); err != nil {
+	if err := w.Run(vol.FS); err != nil {
 		return nil, fmt.Errorf("golden run: %w", err)
 	}
-	return fdev.AccessCounts(), nil
+	return vol.Faults.AccessCounts(), nil
 }
 
 // runScenario executes one faulted experiment.
 func runScenario(t Target, cfg Config, w Workload, img []byte, bt iron.BlockType, fc iron.FaultClass) (Scenario, error) {
 	rec := iron.NewRecorder()
-	_, fdev, fs, tr, err := instance(t, cfg, img, rec)
+	vol, err := instance(t, cfg, img, rec)
 	if err != nil {
 		return Scenario{}, err
 	}
-	tr.Mark(fmt.Sprintf("scenario fs=%s workload=%s block=%s fault=%s sticky=%t",
+	vol.Tracer.Mark(fmt.Sprintf("scenario fs=%s workload=%s block=%s fault=%s sticky=%t",
 		t.Name, w.Label, bt, fc, !cfg.Transient))
 	if w.Mounted {
-		if err := fs.Mount(); err != nil {
+		if err := vol.FS.Mount(); err != nil {
 			return Scenario{}, fmt.Errorf("scenario mount: %w", err)
 		}
 	}
-	fdev.Arm(&faultinject.Fault{Class: fc, Target: bt, Sticky: !cfg.Transient})
-	werr := w.Run(fs)
+	vol.Faults.Arm(&faultinject.Fault{Class: fc, Target: bt, Sticky: !cfg.Transient})
+	werr := w.Run(vol.FS)
 	s := Scenario{
 		Workload:   w.Label,
 		Block:      bt,
 		Fault:      fc,
 		Applicable: true,
-		Fired:      fdev.Fired(),
+		Fired:      vol.Faults.Fired(),
 		Err:        werr,
 		Detection:  rec.Detections(),
 		Recovery:   rec.Recoveries(),
 
 		DetectCounts:  rec.DetectCounts(),
 		RecoverCounts: rec.RecoverCounts(),
+		Health:        vol.Health(),
 	}
-	if t.Health != nil {
-		s.Health = t.Health(fs)
-	}
-	if tr.Enabled() {
-		s.Trace = tr.Events()
+	if vol.Tracer.Enabled() {
+		s.Trace = vol.Tracer.Events()
 	}
 	return s, nil
 }

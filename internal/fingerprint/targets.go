@@ -17,27 +17,61 @@ import (
 	"ironfs/internal/vfs"
 )
 
-// Target describes one file system under test: how to format a device,
-// instantiate the file system, and build its gray-box type resolver. All
-// built-in targets are constructed generically from the fs registry; only
-// the per-target preparation hook (Extra) is bespoke.
+// Target describes one file system under test as registry coordinates: a
+// display label plus the (fs name, options) pair that fs.MountVolume
+// builds complete stacks from. Only the per-target preparation hook
+// (Extra) is bespoke. Earlier versions carried a bag of construction
+// closures here; every harness now mounts through the one Volume surface
+// and the remaining methods are thin registry delegates for callers that
+// assemble a custom device underneath (crash budgets, hand-built disks).
 type Target struct {
 	// Name labels the target ("ext3", "reiserfs", "jfs", "ntfs", "ixt3").
 	Name string
+	// FS is the registry name the target mounts (usually Name).
+	FS string
+	// Opts is the option set the target runs with.
+	Opts fs.Options
 	// Blocks are the structure types to fingerprint, in row order.
 	Blocks []iron.BlockType
-	// Mkfs formats the device.
-	Mkfs func(dev disk.Device) error
-	// New creates an unmounted instance over dev reporting into rec.
-	New func(dev disk.Device, rec *iron.Recorder) vfs.FileSystem
-	// NewResolver builds the type resolver over the raw disk.
-	NewResolver func(raw *disk.Disk) faultinject.TypeResolver
-	// Health reports the instance's RStop state (for inference).
-	Health func(fs vfs.FileSystem) vfs.HealthState
 	// Extra optionally deepens the prepared image with target-specific
 	// structure (e.g., enough objects that ReiserFS grows interior
 	// levels between the root and its leaves).
 	Extra func(fs vfs.FileSystem) error
+}
+
+// MountOpts is the target's base fs.MountVolume specification; callers
+// adjust the tower fields (Image, Faults, Trace, ...) before mounting.
+func (t Target) MountOpts() fs.MountOpts {
+	return fs.MountOpts{FS: t.FS, Opts: t.Opts, Label: t.Name}
+}
+
+// Mkfs formats dev for the target.
+func (t Target) Mkfs(dev disk.Device) error { return fs.Mkfs(t.FS, dev, t.Opts) }
+
+// New creates an unmounted instance over dev reporting into rec — the
+// escape hatch for towers MountVolume cannot express (crash-budget
+// devices, shared scratch disks).
+func (t Target) New(dev disk.Device, rec *iron.Recorder) vfs.FileSystem {
+	fsys, err := fs.New(t.FS, dev, t.Opts, rec)
+	if err != nil {
+		panic(err) // built-in targets only carry validated options
+	}
+	return fsys
+}
+
+// NewResolver builds the target's gray-box type resolver over the raw disk.
+func (t Target) NewResolver(raw *disk.Disk) faultinject.TypeResolver {
+	r, err := fs.NewResolver(t.FS, raw)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Health reports an instance's RStop state (for inference).
+func (t Target) Health(fsys vfs.FileSystem) vfs.HealthState {
+	st, _ := fs.Health(fsys)
+	return st
 }
 
 // registryTarget builds a Target for the named registered file system with
@@ -47,29 +81,7 @@ func registryTarget(name string, opts fs.Options) Target {
 	if err != nil {
 		panic(err) // built-in names only
 	}
-	return Target{
-		Name:   name,
-		Blocks: blocks,
-		Mkfs:   func(dev disk.Device) error { return fs.Mkfs(name, dev, opts) },
-		New: func(dev disk.Device, rec *iron.Recorder) vfs.FileSystem {
-			fsys, err := fs.New(name, dev, opts, rec)
-			if err != nil {
-				panic(err)
-			}
-			return fsys
-		},
-		NewResolver: func(raw *disk.Disk) faultinject.TypeResolver {
-			r, err := fs.NewResolver(name, raw)
-			if err != nil {
-				panic(err)
-			}
-			return r
-		},
-		Health: func(fsys vfs.FileSystem) vfs.HealthState {
-			st, _ := fs.Health(fsys)
-			return st
-		},
-	}
+	return Target{Name: name, FS: name, Opts: opts, Blocks: blocks}
 }
 
 // Ext3 is the stock-ext3 target.

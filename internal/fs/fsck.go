@@ -41,6 +41,8 @@ type Repairer interface {
 
 // AsRepairer extracts the Repairer surface from an instance produced by
 // this registry.
+//
+//iron:traceok interface assertion, not a repair phase; the phases behind it trace themselves
 func AsRepairer(fsys vfs.FileSystem) (Repairer, bool) {
 	r, ok := fsys.(Repairer)
 	return r, ok
@@ -55,6 +57,8 @@ type RepairHooker interface {
 
 // SetRepairHooks installs repair hooks on fsys if it supports them, and
 // reports whether it did.
+//
+//iron:traceok hook installation, not a repair phase; hooked transactions trace in the FS
 func SetRepairHooks(fsys vfs.FileSystem, h *fsck.RepairHooks) bool {
 	r, ok := fsys.(RepairHooker)
 	if ok {

@@ -86,8 +86,24 @@ type entry struct {
 }
 
 // rejectOpts fails when any option outside allowed (a field-name set) is
-// set, naming the offender and the file system.
+// set or any supported option carries an illegal value, naming both the
+// offender and the file system — a multi-volume server config mixes many
+// (fs, options) pairs, so an unattributed option error is undebuggable.
 func rejectOpts(name string, o Options, allowed map[string]bool) error {
+	geom := []struct {
+		field string
+		v     int64
+	}{
+		{"journal-blocks", o.JournalBlocks},
+		{"blocks-per-group", o.BlocksPerGroup},
+		{"itable-blocks", o.ITableBlocks},
+	}
+	for _, g := range geom {
+		if g.v < 0 {
+			return fmt.Errorf("fs: %s: option %s: invalid value %d (must be >= 0)",
+				name, g.field, g.v)
+		}
+	}
 	set := map[string]bool{
 		"mc": o.Mc, "dc": o.Dc, "mr": o.Mr, "dp": o.Dp, "tc": o.Tc,
 		"fixbugs": o.FixBugs, "nobarrier": o.NoBarrier, "noatime": o.NoAtime,

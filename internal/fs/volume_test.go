@@ -1,0 +1,214 @@
+package fs
+
+import (
+	"strings"
+	"testing"
+
+	"ironfs/internal/disk"
+	"ironfs/internal/faultinject"
+	"ironfs/internal/iron"
+	"ironfs/internal/vfs"
+)
+
+// TestMountVolumeEveryFS mounts a fresh volume of every registered file
+// system through the one-call constructor and exercises a basic
+// create/write/read round trip.
+func TestMountVolumeEveryFS(t *testing.T) {
+	for _, name := range Names() {
+		v, err := MountVolume(MountOpts{FS: name})
+		if err != nil {
+			t.Fatalf("%s: MountVolume: %v", name, err)
+		}
+		if v.Name != name || v.Label != name {
+			t.Fatalf("%s: name/label = %q/%q", name, v.Name, v.Label)
+		}
+		if v.Disk == nil || v.Clock == nil || v.Resolver == nil || v.FS == nil {
+			t.Fatalf("%s: incomplete tower: %+v", name, v)
+		}
+		if v.Faults != nil || v.Sched != nil || v.Tracer != nil {
+			t.Fatalf("%s: unrequested layers present", name)
+		}
+		if st := v.Health(); st != vfs.Healthy {
+			t.Fatalf("%s: health = %v, want Healthy", name, st)
+		}
+		if err := v.FS.Create("/f", 0o644); err != nil {
+			t.Fatalf("%s: create: %v", name, err)
+		}
+		if _, err := v.FS.Write("/f", 0, []byte("volume")); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		buf := make([]byte, 6)
+		if n, err := v.FS.Read("/f", 0, buf); err != nil || string(buf[:n]) != "volume" {
+			t.Fatalf("%s: read = %q, %v", name, buf[:n], err)
+		}
+		if err := v.Unmount(); err != nil {
+			t.Fatalf("%s: unmount: %v", name, err)
+		}
+	}
+}
+
+// TestMountVolumeLayers requests the full tower — faults, scheduler,
+// tracer — and verifies each layer is wired beneath the file system.
+func TestMountVolumeLayers(t *testing.T) {
+	rec := iron.NewRecorder()
+	v, err := MountVolume(MountOpts{
+		FS: "ext3", Label: "vol-a", QueueDepth: 8,
+		Faults: true, Trace: true, Recorder: rec,
+	})
+	if err != nil {
+		t.Fatalf("MountVolume: %v", err)
+	}
+	if v.Faults == nil || v.Sched == nil || v.Tracer == nil {
+		t.Fatalf("missing layers: faults=%v sched=%v tracer=%v",
+			v.Faults != nil, v.Sched != nil, v.Tracer != nil)
+	}
+	if v.Label != "vol-a" {
+		t.Fatalf("label = %q", v.Label)
+	}
+	if v.Dev != disk.Device(v.Sched) {
+		t.Fatalf("top of tower is not the scheduler")
+	}
+	if err := v.FS.Create("/x", 0o644); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := v.Unmount(); err != nil {
+		t.Fatalf("unmount: %v", err)
+	}
+	if len(v.Tracer.Events()) == 0 {
+		t.Fatalf("tracer recorded nothing")
+	}
+}
+
+// TestMountVolumeFaultsFire arms a sticky write fault through the volume's
+// fault layer and verifies it actually intercepts traffic: the sync's
+// device writes cannot be absorbed by any cache above the fault layer.
+func TestMountVolumeFaultsFire(t *testing.T) {
+	v, err := MountVolume(MountOpts{FS: "ext3", Faults: true})
+	if err != nil {
+		t.Fatalf("MountVolume: %v", err)
+	}
+	v.Faults.Arm(&faultinject.Fault{Class: iron.WriteFailure, Sticky: true})
+	//iron:policy harness §4 the injected fault surfacing (or being recovered) is the observation itself
+	_ = v.FS.Create("/victim", 0o644)
+	//iron:policy harness §4 same experiment: the sync drives writes into the armed device
+	_ = v.FS.Sync()
+	if v.Faults.Fired() == 0 {
+		t.Fatalf("armed fault never fired")
+	}
+}
+
+// TestMountVolumeImageRestore snapshots one volume and restores it into
+// another: the second mount must see the first's files without a format.
+func TestMountVolumeImageRestore(t *testing.T) {
+	a, err := MountVolume(MountOpts{FS: "jfs"})
+	if err != nil {
+		t.Fatalf("MountVolume a: %v", err)
+	}
+	if err := a.FS.Create("/persisted", 0o644); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := a.Unmount(); err != nil {
+		t.Fatalf("unmount: %v", err)
+	}
+	b, err := MountVolume(MountOpts{FS: "jfs", Image: a.Disk.Snapshot()})
+	if err != nil {
+		t.Fatalf("MountVolume b: %v", err)
+	}
+	if err := b.FS.Access("/persisted"); err != nil {
+		t.Fatalf("restored volume lost /persisted: %v", err)
+	}
+}
+
+// TestMountVolumeSharedClock mounts two volumes on one clock: traffic on
+// either advances the same timeline.
+func TestMountVolumeSharedClock(t *testing.T) {
+	clk := disk.NewClock()
+	a, err := MountVolume(MountOpts{FS: "ext3", Clock: clk})
+	if err != nil {
+		t.Fatalf("MountVolume a: %v", err)
+	}
+	b, err := MountVolume(MountOpts{FS: "reiserfs", Clock: clk})
+	if err != nil {
+		t.Fatalf("MountVolume b: %v", err)
+	}
+	if a.Clock != clk || b.Clock != clk {
+		t.Fatalf("volumes did not adopt the shared clock")
+	}
+	before := clk.Now()
+	if err := a.FS.Create("/tick", 0o644); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := a.FS.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if clk.Now() <= before {
+		t.Fatalf("clock did not advance under volume traffic")
+	}
+	if b.Clock.Now() != clk.Now() {
+		t.Fatalf("volume b sees a different time")
+	}
+}
+
+// TestMountVolumeErrorsAttributed verifies the label and FS name appear in
+// construction errors — the multi-volume attribution contract.
+func TestMountVolumeErrorsAttributed(t *testing.T) {
+	cases := []struct {
+		opts MountOpts
+		want []string
+	}{
+		{MountOpts{FS: "bogus", Label: "vol-7"},
+			[]string{"vol-7", "bogus", "unknown file system"}},
+		{MountOpts{FS: "jfs", Label: "tenant-data", Opts: Options{Tc: true}},
+			[]string{"tenant-data", "jfs", "does not support"}},
+		{MountOpts{FS: "ext3", Opts: Options{JournalBlocks: -4}},
+			[]string{"ext3", "journal-blocks", "invalid value -4"}},
+		{MountOpts{FS: "ext3", Blocks: -1},
+			[]string{"ext3", "invalid size"}},
+	}
+	for _, c := range cases {
+		_, err := MountVolume(c.opts)
+		if err == nil {
+			t.Fatalf("%+v: no error", c.opts)
+		}
+		for _, w := range c.want {
+			if !strings.Contains(err.Error(), w) {
+				t.Fatalf("%+v: error %q missing %q", c.opts, err, w)
+			}
+		}
+	}
+}
+
+// TestValidateNamesFS pins satellite coverage for the option-value fix: a
+// bad value is rejected by Validate itself (no device needed) and the
+// message names the file system, the option, and the value.
+func TestValidateNamesFS(t *testing.T) {
+	for _, name := range Names() {
+		err := Validate(name, Options{BlocksPerGroup: -1})
+		if err == nil {
+			t.Fatalf("%s: negative blocks-per-group accepted", name)
+		}
+		for _, w := range []string{name, "blocks-per-group", "-1"} {
+			if !strings.Contains(err.Error(), w) {
+				t.Fatalf("%s: error %q missing %q", name, err, w)
+			}
+		}
+	}
+}
+
+// TestMountVolumeHealthSurface degrades a volume and reads the state back
+// through the handle's health accessors.
+func TestMountVolumeHealthCause(t *testing.T) {
+	v, err := MountVolume(MountOpts{FS: "ext3"})
+	if err != nil {
+		t.Fatalf("MountVolume: %v", err)
+	}
+	if v.HealthCause() != "" {
+		t.Fatalf("healthy volume reports cause %q", v.HealthCause())
+	}
+	if _, ok := v.Repairer(); !ok {
+		t.Fatalf("ext3 volume has no repairer")
+	}
+	if _, err := v.Checker(); err != nil {
+		t.Fatalf("checker: %v", err)
+	}
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"ironfs/internal/faultinject"
+)
+
+// TestFairnessProperty is the headline SFQ property: a light 10:1-weighted
+// tenant's p99 beside a closed-loop flood stays within the scenario's bound
+// of its solo p99, and the flood still gets the bulk of the throughput.
+func TestFairnessProperty(t *testing.T) {
+	rep, err := RunLoad(LoadConfig{Scenario: "fairness", FS: "ext3",
+		Seed: faultinject.DefaultSeed, Quick: true})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	f := rep.Fairness
+	if f == nil {
+		t.Fatal("no fairness report")
+	}
+	if f.HeavyOps <= f.LightOps {
+		t.Fatalf("flood starved: heavy %d ops <= light %d", f.HeavyOps, f.LightOps)
+	}
+	if f.LightNoisyP99Ns <= 0 || f.LightSoloP99Ns <= 0 {
+		t.Fatalf("degenerate percentiles: solo %d noisy %d", f.LightSoloP99Ns, f.LightNoisyP99Ns)
+	}
+}
+
+// TestAvailabilityDuringRepair checks the online-scrub contract: the
+// bystander tenant's throughput under a capped scrub stays within
+// share+margin of its scrub-free baseline, and the scrub really fixes
+// the damage.
+func TestAvailabilityDuringRepair(t *testing.T) {
+	rep, err := RunLoad(LoadConfig{Scenario: "repair", FS: "ext3",
+		Seed: faultinject.DefaultSeed, Quick: true})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	r := rep.Repair
+	if r == nil {
+		t.Fatal("no repair report")
+	}
+	if r.Problems == 0 || r.Repaired == 0 {
+		t.Fatalf("scrub found %d problems, repaired %d — damage did not bite", r.Problems, r.Repaired)
+	}
+	if want := 1 - r.Share - 0.10; r.ThroughputRatio < want {
+		t.Fatalf("bystander throughput ratio %.3f < %.3f (share %.2f + 10%% margin)",
+			r.ThroughputRatio, want, r.Share)
+	}
+}
+
+// TestReadOnlyRouting runs the readonly scenario end to end: after stock
+// ext3's journal abort, reads succeed and every write refusal is typed.
+func TestReadOnlyRouting(t *testing.T) {
+	rep, err := RunLoad(LoadConfig{Scenario: "readonly", FS: "ext3",
+		Seed: faultinject.DefaultSeed, Quick: true})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+}
+
+// TestLoadDeterminism re-runs the scale scenario and requires the two
+// reports to be byte-identical once serialized — the property CI also
+// enforces on the ironload binary.
+func TestLoadDeterminism(t *testing.T) {
+	run := func() []byte {
+		rep, err := RunLoad(LoadConfig{Scenario: "scale", FS: "ext3",
+			Seed: faultinject.DefaultSeed, Quick: true})
+		if err != nil {
+			t.Fatalf("RunLoad: %v", err)
+		}
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("scale scenario not deterministic:\nrun1: %.200s\nrun2: %.200s", a, b)
+	}
+}

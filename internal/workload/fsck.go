@@ -71,17 +71,11 @@ func (r FsckRow) Speedup() float64 {
 // deterministic bitmap damage. The snapshot lets both runs start from the
 // identical image.
 func fsckImage(name string) ([]byte, error) {
-	d, err := disk.New(benchDiskBlocks, disk.DefaultGeometry(), nil)
+	vol, err := fs.MountVolume(fs.MountOpts{FS: name, Blocks: benchDiskBlocks, Label: "fsck-bench"})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("fsck bench: %w", err)
 	}
-	if err := fs.Mkfs(name, d, fs.Options{}); err != nil {
-		return nil, fmt.Errorf("fsck bench %s: mkfs: %w", name, err)
-	}
-	fsys, err := fs.Mount(name, d, fs.Options{})
-	if err != nil {
-		return nil, fmt.Errorf("fsck bench %s: mount: %w", name, err)
-	}
+	d, fsys := vol.Disk, vol.FS
 	payload := make([]byte, fsckFileBlocks*4096)
 	for i := range payload {
 		payload[i] = byte(i % 253)
@@ -112,18 +106,13 @@ func fsckImage(name string) ([]byte, error) {
 // fsckTimedCheck cold-mounts the image and times one check.
 func fsckTimedCheck(name string, img []byte, workers int) (FsckRun, []fsck.Problem, error) {
 	run := FsckRun{Workers: workers}
-	clk := disk.NewClock()
-	d, err := disk.New(benchDiskBlocks, disk.DefaultGeometry(), clk)
+	vol, err := fs.MountVolume(fs.MountOpts{
+		FS: name, Blocks: benchDiskBlocks, Image: img, Label: "fsck-bench",
+	})
 	if err != nil {
-		return run, nil, err
+		return run, nil, fmt.Errorf("fsck bench: %w", err)
 	}
-	if err := d.Restore(img); err != nil {
-		return run, nil, err
-	}
-	fsys, err := fs.Mount(name, d, fs.Options{})
-	if err != nil {
-		return run, nil, fmt.Errorf("fsck bench %s: mount: %w", name, err)
-	}
+	clk, fsys := vol.Clock, vol.FS
 	defer func() {
 		//iron:policy harness §6.2 the timed check is over by unmount time; the benchmark's measurement window has closed
 		_ = fsys.Unmount()

@@ -160,20 +160,15 @@ func RunMultiClient(cfg MultiClientConfig) (MultiClientReport, error) {
 	if cfg.Clients < 1 {
 		cfg.Clients = 1
 	}
-	clk := disk.NewClock()
-	d, err := disk.New(benchDiskBlocks, disk.DefaultGeometry(), clk)
+	vol, err := fs.MountVolume(fs.MountOpts{
+		FS: cfg.FS, Opts: mcOptions(cfg.FS), Blocks: benchDiskBlocks,
+		QueueDepth: cfg.QueueDepth,
+	})
 	if err != nil {
-		return MultiClientReport{}, err
+		return MultiClientReport{}, fmt.Errorf("multiclient: %w", err)
 	}
-	opts := mcOptions(cfg.FS)
-	if err := fs.Mkfs(cfg.FS, d, opts); err != nil {
-		return MultiClientReport{}, fmt.Errorf("multiclient %s: mkfs: %w", cfg.FS, err)
-	}
-	sc := sched.New(d, sched.Config{QueueDepth: cfg.QueueDepth})
-	fsys, err := fs.Mount(cfg.FS, sc, opts)
-	if err != nil {
-		return MultiClientReport{}, fmt.Errorf("multiclient %s: mount: %w", cfg.FS, err)
-	}
+	clk := vol.Clock
+	fsys := vol.FS
 
 	var run func(fsys vfs.FileSystem, clk *disk.Clock, clients []*mcClient) error
 	switch cfg.Workload {
@@ -202,8 +197,10 @@ func RunMultiClient(cfg MultiClientConfig) (MultiClientReport, error) {
 	if err := fsys.Sync(); err != nil {
 		return MultiClientReport{}, fmt.Errorf("multiclient %s/%s: sync: %w", cfg.FS, cfg.Workload, err)
 	}
-	if err := sc.Barrier(); err != nil {
-		return MultiClientReport{}, fmt.Errorf("multiclient %s/%s: drain: %w", cfg.FS, cfg.Workload, err)
+	if vol.Sched != nil {
+		if err := vol.Sched.Barrier(); err != nil {
+			return MultiClientReport{}, fmt.Errorf("multiclient %s/%s: drain: %w", cfg.FS, cfg.Workload, err)
+		}
 	}
 	// The run ends when the last client's timeline does — or at the
 	// shared clock if the final flush pushed the disk past every client.
@@ -218,8 +215,11 @@ func RunMultiClient(cfg MultiClientConfig) (MultiClientReport, error) {
 	rep := MultiClientReport{
 		FS: cfg.FS, Workload: cfg.Workload,
 		Clients: cfg.Clients, QueueDepth: cfg.QueueDepth,
-		SimTime: elapsed, Sched: sc.Stats(),
-		Lat: stat.NewHistogram(),
+		SimTime: elapsed,
+		Lat:     stat.NewHistogram(),
+	}
+	if vol.Sched != nil {
+		rep.Sched = vol.Sched.Stats()
 	}
 	for _, c := range clients {
 		rep.Ops += c.ops

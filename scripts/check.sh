@@ -71,4 +71,18 @@ go build -o "$vetdir/ironstat" ./cmd/ironstat
 	exit 1
 }
 
+# ironload quick gate (docs/SERVE.md): the serving-tier scenarios —
+# weighted fairness beside a 10:1 flood, read-only routing with typed
+# refusals, online repair under its I/O-share cap, and the mixed-tenant
+# scale sweep — must hold their self-asserted bounds (exit 0) and two
+# runs must emit byte-identical JSON. The committed full-size pin is
+# BENCH_4.json.
+go build -o "$vetdir/ironload" ./cmd/ironload
+"$vetdir/ironload" -quick -json -out "$vetdir/load1.json"
+"$vetdir/ironload" -quick -json -out "$vetdir/load2.json"
+cmp "$vetdir/load1.json" "$vetdir/load2.json" || {
+	echo "check: ironload output is nondeterministic between identical runs" >&2
+	exit 1
+}
+
 echo "check: all gates passed"
