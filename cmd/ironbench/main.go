@@ -7,6 +7,7 @@
 //
 //	ironbench [-table6] [-space] [-single] [-bench SSH|Web|Post|TPCB] [-json]
 //	ironbench -multiclient [-clients N] [-depth D] [-fs name] [-json]
+//	ironbench -sweep [-sweepclients 64,128,256] [-depth D] [-quick] [-fs name] [-json]
 //	ironbench -fsck [-fsck-workers N] [-fs name] [-json]
 //
 // With -json the selected studies are emitted as one machine-readable JSON
@@ -22,6 +23,12 @@
 // interleaving makes these numbers wobble slightly run to run, so the
 // committed snapshot records wide-margin speedups, not exact times.
 //
+// -sweep runs the deterministic high-client ladder (64/128/256 modeled
+// clients by default) under the adaptive scheduler with read-ahead on. A
+// single-threaded virtual-time dispatcher replaces goroutines, so the
+// results — exact p50/p99/p999 latencies included — are bit-deterministic
+// and pinned by BENCH_5.json.
+//
 // -fsck times a full consistency check of a bitmap-damaged image of every
 // registered file system, serially and with the pFSCK-style parallel
 // pipeline, under the virtual-time model (simulated disk plus per-phase
@@ -33,8 +40,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"ironfs/internal/cli"
+	"ironfs/internal/disk"
 	"ironfs/internal/fs"
 	"ironfs/internal/workload"
 )
@@ -47,12 +57,15 @@ func main() {
 	asJSON := cli.JSONFlag("emit results as a JSON document instead of rendered tables")
 	multi := flag.Bool("multiclient", false, "run the multi-client scheduler study instead of Table 6")
 	clients := flag.Int("clients", 4, "multiclient: concurrent client goroutines")
-	depth := flag.Int("depth", 32, "multiclient: scheduler queue depth")
+	depth := flag.Int("depth", 32, "multiclient/sweep: scheduler queue depth")
+	sweep := flag.Bool("sweep", false, "run the deterministic high-client sweep instead of Table 6")
+	sweepClients := flag.String("sweepclients", "", "sweep: comma-separated client counts (default 64,128,256)")
+	quick := flag.Bool("quick", false, "sweep: shrink per-client work for smoke runs")
 	fsName := cli.FSFlag("", fs.Names())
 	fsckBench := flag.Bool("fsck", false, "run the fsck serial-vs-parallel study instead of Table 6")
 	fsckWorkers := flag.Int("fsck-workers", 4, "fsck: parallel worker count")
 	flag.Parse()
-	if *multi || *fsckBench {
+	if *multi || *fsckBench || *sweep {
 		table6Set := false
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "table6" {
@@ -144,6 +157,42 @@ func main() {
 				fmt.Printf("%-9s %-12s %10.0f %10.0f %7.2fx\n",
 					row.Concurrent.FS, row.Concurrent.Workload,
 					row.Baseline.OpsPerSec, row.Concurrent.OpsPerSec, row.Speedup())
+			}
+		}
+	}
+
+	if *sweep {
+		counts := workload.SweepClients()
+		if *sweepClients != "" {
+			counts = counts[:0]
+			for _, s := range strings.Split(*sweepClients, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil || n < 1 {
+					cli.Usagef("ironbench", "bad -sweepclients entry %q", s)
+				}
+				counts = append(counts, n)
+			}
+		}
+		rows, err := workload.RunSweep(names, counts, *depth, *quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ironbench: sweep: %v\n", err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			for _, row := range rows {
+				doc.Sweep = append(doc.Sweep, row.JSON())
+			}
+		} else {
+			fmt.Printf("High-client sweep: deterministic virtual-time clients over the\n")
+			fmt.Printf("adaptive scheduler (depth %d) vs the serial baseline; exact latencies\n\n", *depth)
+			fmt.Printf("%-9s %-12s %8s %10s %8s %12s %12s %12s\n",
+				"fs", "workload", "clients", "ops/s", "speedup", "p50", "p99", "p999")
+			for _, row := range rows {
+				j := row.JSON()
+				fmt.Printf("%-9s %-12s %8d %10.0f %7.2fx %12v %12v %12v\n",
+					j.FS, j.Workload, j.Clients, j.Concurrent.OpsPerSec, j.Speedup,
+					disk.Duration(j.Concurrent.P50Ns), disk.Duration(j.Concurrent.P99Ns),
+					disk.Duration(j.Concurrent.P999Ns))
 			}
 		}
 	}

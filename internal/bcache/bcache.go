@@ -151,6 +151,52 @@ func (c *Cache) Get(n int64) []byte {
 	return data
 }
 
+// GetInto copies block n's cached bytes starting at offset off into dst,
+// reporting whether the block was resident. It is the allocation-free hot
+// read path: unlike Get it never hands out an aliasing slice, so callers
+// copy under the shard lock straight into their own buffer and the
+// compiler has nothing to heap-allocate (asserted by an AllocsPerRun
+// test). A short or out-of-range request is a miss for accounting — the
+// caller falls back to the full read path either way.
+func (c *Cache) GetInto(n int64, off int, dst []byte) bool {
+	s := c.shardOf(n)
+	s.mu.Lock()
+	s.stats.Lookups++
+	e, ok := s.entries[n]
+	if !ok || off < 0 || off+len(dst) > len(e.data) {
+		s.stats.Misses++
+		s.mu.Unlock()
+		s.mMiss.Inc()
+		c.tr.Load().Buffer(trace.KindMiss, n)
+		return false
+	}
+	copy(dst, e.data[off:off+len(dst)])
+	s.lru.MoveToFront(e.elem)
+	s.stats.Hits++
+	s.mu.Unlock()
+	s.mHit.Inc()
+	c.tr.Load().Buffer(trace.KindHit, n)
+	return true
+}
+
+// DirtyLen returns the number of dirty (write-behind) blocks resident
+// across all shards: updates the cache is holding back until the next
+// commit writes them out.
+func (c *Cache) DirtyLen() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for _, e := range s.entries {
+			if e.dirty {
+				n++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
 // Put inserts (or replaces) block n with data, which the cache takes
 // ownership of. Eviction of the least-recently-used clean block keeps the
 // shard within capacity.

@@ -1,0 +1,81 @@
+package bcache
+
+import "sync"
+
+// Prefetcher is the cache's sequential read-ahead detector. File systems
+// feed it every data-block miss; once it sees a run of consecutive block
+// numbers it hands back the next window of blocks worth fetching, and the
+// file system pulls them into the cache with one batched device read
+// instead of paying a miss per block.
+//
+// Read-ahead is opt-in and advisory: a nil *Prefetcher is valid and inert,
+// Note never fetches anything itself, and callers are free to ignore or
+// truncate the suggestion (e.g. at an extent boundary). Mispredictions
+// cost only the wasted fetch — prefetched blocks enter the cache clean, so
+// they evict like any other cold block.
+type Prefetcher struct {
+	mu sync.Mutex
+	// next is the block that would continue the current sequential run.
+	next int64
+	// run counts consecutive sequential misses; a suggestion fires once
+	// it reaches raTrigger.
+	run int
+	// window is the number of blocks suggested per firing (0 disables).
+	window int
+	// ramp doubles the window after each confirmed firing up to window,
+	// so a single accidental adjacency doesn't fetch the full window.
+	ramp int
+}
+
+// raTrigger is the sequential-run length that arms the prefetcher: two
+// adjacent misses predict a scan, one proves nothing.
+const raTrigger = 2
+
+// NewPrefetcher returns a detector suggesting up to window blocks ahead.
+// A window of 0 (or a nil receiver) disables read-ahead.
+func NewPrefetcher(window int) *Prefetcher {
+	if window <= 0 {
+		return nil
+	}
+	return &Prefetcher{window: window, ramp: 1}
+}
+
+// Note records a data-block miss at blk and returns the blocks the caller
+// should prefetch, or nil when the access pattern is not (yet) sequential.
+// The returned blocks start at blk+1; the caller filters out blocks that
+// are already resident, past the file, or beyond the device.
+func (p *Prefetcher) Note(blk int64) []int64 {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if blk != p.next {
+		// Run broken: restart detection at this block, drop the ramp.
+		p.next = blk + 1
+		p.run = 1
+		p.ramp = 1
+		return nil
+	}
+	p.next = blk + 1
+	p.run++
+	if p.run < raTrigger {
+		return nil
+	}
+	n := p.ramp
+	if n > p.window {
+		n = p.window
+	}
+	if p.ramp < p.window {
+		p.ramp *= 2
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = blk + 1 + int64(i)
+	}
+	// The suggested blocks will be cache hits, not misses, when the scan
+	// reaches them; jump the run past the window so the next real miss at
+	// the window's end continues the sequence.
+	p.next = blk + 1 + int64(n)
+	return out
+}

@@ -1,0 +1,150 @@
+package bcache
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestGetIntoZeroAlloc proves the hot read path allocates nothing: a
+// resident block is copied straight into the caller's buffer.
+func TestGetIntoZeroAlloc(t *testing.T) {
+	c := New(64)
+	data := bytes.Repeat([]byte{0xAB}, 4096)
+	c.Put(7, data, false)
+	dst := make([]byte, 512)
+	allocs := testing.AllocsPerRun(100, func() {
+		if !c.GetInto(7, 128, dst) {
+			t.Fatal("resident block missed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("GetInto allocated %.1f times per call, want 0", allocs)
+	}
+	if !bytes.Equal(dst, data[128:640]) {
+		t.Fatal("GetInto copied wrong bytes")
+	}
+}
+
+// TestGetIntoSemantics: offset copies, miss on absent blocks, miss on
+// out-of-range requests, and accounting identical to Get's.
+func TestGetIntoSemantics(t *testing.T) {
+	c := New(64)
+	blk := make([]byte, 4096)
+	for i := range blk {
+		blk[i] = byte(i)
+	}
+	c.Put(3, blk, false)
+	dst := make([]byte, 16)
+	if !c.GetInto(3, 100, dst) {
+		t.Fatal("hit expected")
+	}
+	if !bytes.Equal(dst, blk[100:116]) {
+		t.Fatalf("offset copy wrong: %v", dst)
+	}
+	if c.GetInto(4, 0, dst) {
+		t.Fatal("absent block must miss")
+	}
+	if c.GetInto(3, 4090, dst) {
+		t.Fatal("out-of-range request must miss")
+	}
+	st := c.Stats()
+	if st.Lookups != 3 || st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 3 lookups / 1 hit / 2 misses", st)
+	}
+}
+
+// TestPrefetcherSequentialDetect: a single miss proves nothing; the second
+// consecutive miss arms read-ahead with a ramping window; a stride break
+// resets detection.
+func TestPrefetcherSequentialDetect(t *testing.T) {
+	p := NewPrefetcher(8)
+	if got := p.Note(100); got != nil {
+		t.Fatalf("first miss suggested %v, want nil", got)
+	}
+	got := p.Note(101)
+	if len(got) != 1 || got[0] != 102 {
+		t.Fatalf("second sequential miss suggested %v, want [102]", got)
+	}
+	// The scan absorbs prefetched 102 as a hit, so the next miss lands at
+	// 103 — continuing the run with a doubled window.
+	got = p.Note(103)
+	if len(got) != 2 || got[0] != 104 || got[1] != 105 {
+		t.Fatalf("continued run suggested %v, want [104 105]", got)
+	}
+	// Random jump: detection restarts, no suggestion.
+	if got := p.Note(500); got != nil {
+		t.Fatalf("stride break suggested %v, want nil", got)
+	}
+	if got := p.Note(501); len(got) != 1 || got[0] != 502 {
+		t.Fatalf("restarted run suggested %v, want [502] (ramp reset)", got)
+	}
+}
+
+// TestPrefetcherRampCap: the window doubles per firing but never exceeds
+// the configured cap.
+func TestPrefetcherRampCap(t *testing.T) {
+	p := NewPrefetcher(4)
+	p.Note(10)
+	sizes := []int{1, 2, 4, 4, 4}
+	next := int64(11)
+	for i, want := range sizes {
+		got := p.Note(next)
+		if len(got) != want {
+			t.Fatalf("firing %d suggested %d blocks, want %d", i, len(got), want)
+		}
+		next = got[len(got)-1] + 1
+	}
+}
+
+// TestPrefetcherDisabled: window 0 and nil receivers are inert.
+func TestPrefetcherDisabled(t *testing.T) {
+	if p := NewPrefetcher(0); p != nil {
+		t.Fatal("window 0 must return a nil (disabled) prefetcher")
+	}
+	var p *Prefetcher
+	if got := p.Note(1); got != nil {
+		t.Fatalf("nil prefetcher suggested %v", got)
+	}
+}
+
+// TestWriteBehindPinning: dirty blocks are the cache's write-behind set —
+// they are never evicted, survive capacity pressure until MarkClean, and
+// DirtyLen tracks them exactly.
+func TestWriteBehindPinning(t *testing.T) {
+	c := NewSharded(16, 1)
+	for i := int64(0); i < 8; i++ {
+		c.Put(i, make([]byte, 64), true)
+	}
+	if got := c.DirtyLen(); got != 8 {
+		t.Fatalf("DirtyLen = %d, want 8", got)
+	}
+	// Capacity pressure from clean blocks must evict around, never
+	// through, the dirty set.
+	for i := int64(100); i < 140; i++ {
+		c.Put(i, make([]byte, 64), false)
+	}
+	for i := int64(0); i < 8; i++ {
+		if c.Get(i) == nil {
+			t.Fatalf("dirty block %d was evicted before MarkClean", i)
+		}
+	}
+	for i := int64(0); i < 8; i++ {
+		c.MarkClean(i)
+	}
+	if got := c.DirtyLen(); got != 0 {
+		t.Fatalf("DirtyLen after MarkClean = %d, want 0", got)
+	}
+	// Unpinned, they are evictable again.
+	for i := int64(200); i < 240; i++ {
+		c.Put(i, make([]byte, 64), false)
+	}
+	evicted := false
+	for i := int64(0); i < 8; i++ {
+		if c.Get(i) == nil {
+			evicted = true
+		}
+	}
+	if !evicted {
+		t.Fatal("clean ex-dirty blocks were never evicted under pressure")
+	}
+}

@@ -40,6 +40,18 @@ type FS struct {
 	seq     uint64
 	jhead   int64
 	timeCtr int64
+	// committing is true while a frozen transaction's device writes are in
+	// flight with fs.mu released; the running transaction keeps accepting
+	// operations. commitDone is signalled when it clears.
+	committing bool
+	commitDone *sync.Cond
+	// durableSeq is the last commit sequence fully on disk. Fsync waiters
+	// wait on it rather than on fs.committing, so a stream of back-to-back
+	// commits from a busy client cannot starve them.
+	durableSeq uint64
+	// ra is the sequential read-ahead detector for data reads (nil =
+	// read-ahead off, the default). Set before Mount via SetReadAhead.
+	ra *bcache.Prefetcher
 }
 
 var _ vfs.FileSystem = (*FS)(nil)
@@ -49,12 +61,17 @@ func New(dev disk.Device, rec *iron.Recorder) *FS {
 	fs := &FS{dev: dev, rec: rec, tr: trace.Of(dev), cache: bcache.New(2048),
 		clk: disk.ClockOf(dev), st: vfs.NewFSMetrics("jfs")}
 	fs.cache.SetTracer(fs.tr)
+	fs.commitDone = sync.NewCond(&fs.mu)
 	return fs
 }
 
 // SetNoAtime suppresses the atime journal update on Read (the noatime
 // mount option). Set before Mount.
 func (fs *FS) SetNoAtime(on bool) { fs.noatime = on }
+
+// SetReadAhead enables sequential read-ahead on data reads, prefetching up
+// to window blocks once a scan is detected (0 disables). Set before Mount.
+func (fs *FS) SetReadAhead(window int) { fs.ra = bcache.NewPrefetcher(window) }
 
 // Health returns the current RStop state.
 func (fs *FS) Health() vfs.HealthState { return fs.health.State() }
@@ -126,6 +143,13 @@ func (fs *FS) readData(blk int64) ([]byte, error) {
 	if data := fs.cache.Get(blk); data != nil {
 		return data, nil
 	}
+	return fs.fillData(blk)
+}
+
+// fillData is readData's miss path: device read (single retry, then
+// propagate), cache insert, and — when read-ahead is enabled — a
+// sequential prefetch of the blocks the access pattern predicts.
+func (fs *FS) fillData(blk int64) ([]byte, error) {
 	buf := make([]byte, BlockSize)
 	err := fs.dev.ReadBlock(blk, buf)
 	if err != nil {
@@ -138,6 +162,18 @@ func (fs *FS) readData(blk int64) ([]byte, error) {
 		return nil, vfs.ErrIO
 	}
 	fs.cache.Put(blk, buf, false)
+	for _, pb := range fs.ra.Note(blk) {
+		// Prefetch is advisory: out-of-range or failing blocks just end
+		// the window, and prefetched blocks enter the cache clean.
+		if pb <= 0 || pb >= fs.dev.NumBlocks() {
+			break
+		}
+		pbuf := make([]byte, BlockSize)
+		if fs.dev.ReadBlock(pb, pbuf) != nil {
+			break
+		}
+		fs.cache.Put(pb, pbuf, false)
+	}
 	return buf, nil
 }
 
@@ -270,6 +306,9 @@ func (fs *FS) Mount() error {
 	}
 
 	fs.tx = newTxn()
+	// Everything up to the replayed/loaded sequence is on disk; an fsync
+	// waiter for a pre-mount sequence must not park forever.
+	fs.durableSeq = fs.seq
 	fs.sb.Clean = 0
 	sbuf := make([]byte, BlockSize)
 	fs.sb.marshal(sbuf)

@@ -3,6 +3,7 @@ package jfs
 import (
 	"encoding/binary"
 	"fmt"
+	"runtime"
 
 	"ironfs/internal/disk"
 	"ironfs/internal/iron"
@@ -60,11 +61,17 @@ type txn struct {
 	dirtyOrd  []int64
 	dataOrder []int64
 	data      map[int64][]byte
+	// inodes tracks which inodes this transaction has updated, so fsync
+	// can tell "needs this commit" from "only needs earlier commits".
+	inodes map[uint32]bool
 }
 
 func newTxn() *txn {
-	return &txn{dirty: map[int64][]byte{}, data: map[int64][]byte{}}
+	return &txn{dirty: map[int64][]byte{}, data: map[int64][]byte{}, inodes: map[uint32]bool{}}
 }
+
+func (t *txn) touch(ino uint32)        { t.inodes[ino] = true }
+func (t *txn) touched(ino uint32) bool { return t.inodes[ino] }
 
 func (t *txn) empty() bool { return len(t.records) == 0 && len(t.dataOrder) == 0 }
 
@@ -112,6 +119,11 @@ func (fs *FS) dropBlock(blk int64) {
 
 const maxTxnRecords = 256
 
+// commitYields is how many scheduler yields the committer grants, with the
+// lock released, before freezing — the window in which concurrent clients
+// join the transaction (JBD-style commit batching, in yield form).
+const commitYields = 8
+
 //iron:commitpoint the operation-facing commit funnel; its error means the transaction did not reach disk
 func (fs *FS) maybeCommit() error {
 	if len(fs.tx.records) >= maxTxnRecords {
@@ -120,41 +132,106 @@ func (fs *FS) maybeCommit() error {
 	return nil
 }
 
+// commitPlan is a frozen transaction: every device request materialized
+// (payloads copied) so the writes can proceed without the file-system
+// lock. While a plan's I/O is in flight the running transaction keeps
+// accepting operations — the JBD running/committing split.
+type commitPlan struct {
+	seq      uint64
+	dataReqs []disk.Request
+	// wrapSuper, when non-nil, points the log superblock at the ring's new
+	// start; it must reach disk (with a barrier) before the log blocks.
+	wrapSuper []byte
+	logReqs   []disk.Request
+	// homeReqs is the immediate checkpoint: frozen copies of the full
+	// dirty images — never the live cache buffers, which the running
+	// transaction may be mutating.
+	homeReqs []disk.Request
+	advSuper []byte // log-superblock advance after the checkpoint
+	dirtyOrd []int64
+	dataOrd  []int64
+}
+
 // commitLocked writes ordered data, streams the redo records plus a commit
 // record into the log, checkpoints the dirty blocks, and advances the log
 // superblock. Write errors on data, log-data and checkpoint writes are all
 // ignored (the §5.3 DZero finding); only the log-superblock write is
 // checked — and crashes on failure.
 //
+// The commit runs in three phases: freeze (under fs.mu) materializes the
+// plan and installs a fresh running transaction; the device writes happen
+// with fs.mu RELEASED, serialized against other commits by fs.committing;
+// finish (under fs.mu again) unpins the checkpointed blocks.
+//
 //iron:txentry commit machinery: jfs group commit writes log records then checkpoints home blocks
 //iron:commitpoint the group-commit body; its error means the journal write or barrier failed
 func (fs *FS) commitLocked() error {
-	t := fs.tx
-	if t.empty() {
+	for fs.committing {
+		fs.commitDone.Wait()
+	}
+	if fs.tx.empty() {
 		return nil
 	}
 	if err := fs.health.CheckWrite(); err != nil {
 		return err
+	}
+	// Commit batching: release the lock and yield before freezing so
+	// other clients mid-operation can join the running transaction and
+	// ride this commit instead of paying for their own.
+	fs.committing = true
+	fs.mu.Unlock()
+	for i := 0; i < commitYields; i++ {
+		runtime.Gosched()
+	}
+	fs.mu.Lock()
+	plan, err := fs.freezeTxnLocked()
+	if err == nil && plan != nil {
+		fs.mu.Unlock()
+		err = fs.writeCommitPlan(plan)
+		fs.mu.Lock()
+	}
+	fs.committing = false
+	if plan != nil {
+		// Advance even on a failed write: waiters must not hang, and the
+		// failure surfaces through the health state they re-check.
+		fs.durableSeq = plan.seq
+	}
+	fs.commitDone.Broadcast()
+	if err != nil {
+		return err
+	}
+	if plan != nil {
+		fs.finishCommitLocked(plan)
+	}
+	return nil
+}
+
+// freezeTxnLocked materializes the running transaction into a commitPlan
+// and installs a fresh running transaction. Every payload is copied under
+// the lock, so later mutations of the cached buffers cannot tear the
+// frozen image. The log head and sequence advance here — reservations are
+// serialized because freezes only run with no commit in flight.
+func (fs *FS) freezeTxnLocked() (*commitPlan, error) {
+	t := fs.tx
+	if t.empty() {
+		return nil, nil
 	}
 	fs.tr.Phase("commit", fmt.Sprintf("seq=%d records=%d data=%d", fs.seq+1, len(t.records), len(t.dataOrder)))
 	fs.st.Commits.Inc()
 	fs.st.TxnBlocks.Observe(int64(len(t.records) + len(t.dataOrder)))
 	seq := fs.seq + 1
 	base := int64(fs.sb.LogStart)
+	plan := &commitPlan{seq: seq, dirtyOrd: t.dirtyOrd, dataOrd: t.dataOrder}
 
-	// Ordered data first.
-	if len(t.dataOrder) > 0 {
-		reqs := make([]disk.Request, 0, len(t.dataOrder))
-		for _, blk := range t.dataOrder {
-			reqs = append(reqs, disk.Request{Block: blk, Data: t.data[blk]})
-		}
-		fs.devWriteBatch(reqs)
-		if err := fs.dev.Barrier(); err != nil {
-			return vfs.ErrIO
-		}
+	// Ordered data (frozen copies).
+	for _, blk := range t.dataOrder {
+		cp := make([]byte, BlockSize)
+		copy(cp, t.data[blk])
+		plan.dataReqs = append(plan.dataReqs, disk.Request{Block: blk, Data: cp})
 	}
 
-	// Pack records into log blocks.
+	// Pack records into log blocks. The redo payloads were copied when
+	// the records were logged, so the packed blocks are already frozen.
 	var logBlocks [][]byte
 	cur := make([]byte, BlockSize)
 	off := 0
@@ -181,6 +258,15 @@ func (fs *FS) commitLocked() error {
 	emit(recCommit, 0, 0, seqb[:])
 	logBlocks = append(logBlocks, cur)
 
+	if int64(len(logBlocks))+1 > int64(fs.sb.LogLen) {
+		// Unreachable by construction — maxTxnRecords keeps a transaction
+		// far below the ring's capacity even while a commit is in flight
+		// — but a transaction larger than the whole ring would scribble
+		// past the log region, and JFS's answer to a log-structural
+		// hazard is an explicit crash.
+		fs.crash(BTJData, "transaction overflows log ring")
+		return nil, vfs.ErrPanicked
+	}
 	if fs.jhead == 0 {
 		fs.jhead = 1
 	}
@@ -188,51 +274,110 @@ func (fs *FS) commitLocked() error {
 		// Wrap: point the log superblock at the new start first.
 		fs.jhead = 1
 		ls := logSuper{Magic: jMagic, Version: 1, StartRel: 1, StartSeq: seq}
-		lb := make([]byte, BlockSize)
-		ls.marshal(lb)
-		if err := fs.devWrite(base, lb, BTJSuper); err != nil {
-			return err
-		}
-		if err := fs.dev.Barrier(); err != nil {
-			return vfs.ErrIO
-		}
+		plan.wrapSuper = make([]byte, BlockSize)
+		ls.marshal(plan.wrapSuper)
 	}
-	reqs := make([]disk.Request, 0, len(logBlocks))
 	for i, lb := range logBlocks {
-		reqs = append(reqs, disk.Request{Block: base + fs.jhead + int64(i), Data: lb})
-	}
-	fs.devWriteBatch(reqs) // log write errors ignored — reproduced bug class
-	if err := fs.dev.Barrier(); err != nil {
-		return vfs.ErrIO
+		plan.logReqs = append(plan.logReqs, disk.Request{Block: base + fs.jhead + int64(i), Data: lb})
 	}
 
-	// Checkpoint full dirty images (write errors ignored).
-	home := make([]disk.Request, 0, len(t.dirtyOrd))
+	// Checkpoint images (frozen copies of the full dirty blocks).
+	plan.homeReqs = make([]disk.Request, 0, len(t.dirtyOrd))
 	for _, blk := range t.dirtyOrd {
-		home = append(home, disk.Request{Block: blk, Data: t.dirty[blk]})
-	}
-	fs.devWriteBatch(home)
-	if err := fs.dev.Barrier(); err != nil {
-		return vfs.ErrIO
+		cp := make([]byte, BlockSize)
+		copy(cp, t.dirty[blk])
+		plan.homeReqs = append(plan.homeReqs, disk.Request{Block: blk, Data: cp})
 	}
 
 	fs.jhead += int64(len(logBlocks))
 	ls := logSuper{Magic: jMagic, Version: 1, StartRel: uint64(fs.jhead), StartSeq: seq + 1}
-	lb := make([]byte, BlockSize)
-	ls.marshal(lb)
-	if err := fs.devWrite(base, lb, BTJSuper); err != nil {
+	plan.advSuper = make([]byte, BlockSize)
+	ls.marshal(plan.advSuper)
+
+	fs.seq = seq
+	fs.tx = newTxn()
+	return plan, nil
+}
+
+// commitBarrier is an ordering point inside the commit path. A barrier
+// failure means the commit's durability cannot be vouched for; JFS's
+// milder stop applies — propagate and remount read-only. Without the
+// degrade, an fsync waiter would see durableSeq advance with health still
+// Healthy and report durability for a commit whose ordering barrier
+// failed.
+func (fs *FS) commitBarrier(bt iron.BlockType) error {
+	if err := fs.dev.Barrier(); err != nil {
+		fs.rec.Detect(iron.DErrorCode, bt, "barrier failed")
+		fs.remountRO(bt, "commit barrier failure")
+		return vfs.ErrIO
+	}
+	return nil
+}
+
+// writeCommitPlan issues the frozen transaction's device writes. It runs
+// without fs.mu held — fs.committing serializes it against other commits —
+// and touches only the plan's frozen payloads plus thread-safe members
+// (device, recorder, health, tracer).
+//
+//iron:txentry commit machinery: writes the frozen commit plan (ordered data, log records, checkpoint) and advances the log superblock
+func (fs *FS) writeCommitPlan(plan *commitPlan) error {
+	base := int64(fs.sb.LogStart)
+
+	// Ordered data first.
+	if len(plan.dataReqs) > 0 {
+		fs.devWriteBatch(plan.dataReqs)
+		if err := fs.commitBarrier(BTData); err != nil {
+			return err
+		}
+	}
+
+	if plan.wrapSuper != nil {
+		if err := fs.devWrite(base, plan.wrapSuper, BTJSuper); err != nil {
+			return err
+		}
+		if err := fs.commitBarrier(BTJSuper); err != nil {
+			return err
+		}
+	}
+
+	fs.devWriteBatch(plan.logReqs) // log write errors ignored — reproduced bug class
+	if err := fs.commitBarrier(BTJData); err != nil {
 		return err
 	}
 
-	for _, blk := range t.dirtyOrd {
+	// Checkpoint full dirty images (write errors ignored).
+	fs.devWriteBatch(plan.homeReqs)
+	if err := fs.commitBarrier(BTData); err != nil {
+		return err
+	}
+
+	return fs.devWrite(base, plan.advSuper, BTJSuper)
+}
+
+// finishCommitLocked unpins the checkpointed blocks — unless the running
+// transaction re-dirtied a block while the commit was in flight, in which
+// case the dirty pin now belongs to it.
+//
+//iron:traceok in-memory pin bookkeeping after the commit's device writes; the commit phase itself traces in writeCommitPlan
+func (fs *FS) finishCommitLocked(plan *commitPlan) {
+	for _, blk := range plan.dirtyOrd {
+		if _, live := fs.tx.dirty[blk]; live {
+			continue
+		}
+		if _, live := fs.tx.data[blk]; live {
+			continue
+		}
 		fs.cache.MarkClean(blk)
 	}
-	for _, blk := range t.dataOrder {
+	for _, blk := range plan.dataOrd {
+		if _, live := fs.tx.dirty[blk]; live {
+			continue
+		}
+		if _, live := fs.tx.data[blk]; live {
+			continue
+		}
 		fs.cache.MarkClean(blk)
 	}
-	fs.seq = seq
-	fs.tx = newTxn()
-	return nil
 }
 
 // loadLogSuper initializes the sequence space from the log superblock,

@@ -215,6 +215,7 @@ func (fs *FS) storeInode(ino uint32, in *inode) error {
 	}
 	img := make([]byte, InodeSize)
 	in.marshal(img)
+	fs.tx.touch(ino)
 	return fs.logMeta(blk, off, img, BTInode)
 }
 
@@ -224,6 +225,7 @@ func (fs *FS) clearInode(ino uint32) error {
 	if err != nil {
 		return err
 	}
+	fs.tx.touch(ino)
 	return fs.logMeta(blk, off, make([]byte, InodeSize), BTInode)
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"ironfs/internal/bcache"
@@ -39,6 +40,18 @@ type FS struct {
 	seq     uint64
 	jhead   int64
 	timeCtr int64
+	// committing is true while a frozen transaction's device writes are in
+	// flight with fs.mu released; the running transaction keeps accepting
+	// operations. commitDone is signalled when it clears.
+	committing bool
+	commitDone *sync.Cond
+	// durableSeq is the last commit sequence fully on disk. Fsync waiters
+	// wait on it rather than on fs.committing, so a stream of back-to-back
+	// commits from a busy client cannot starve them.
+	durableSeq uint64
+	// ra is the sequential read-ahead detector for data reads (nil =
+	// read-ahead off, the default). Set before Mount via SetReadAhead.
+	ra *bcache.Prefetcher
 }
 
 var _ vfs.FileSystem = (*FS)(nil)
@@ -48,12 +61,17 @@ func New(dev disk.Device, rec *iron.Recorder) *FS {
 	fs := &FS{dev: dev, rec: rec, tr: trace.Of(dev), cache: bcache.New(2048),
 		clk: disk.ClockOf(dev), st: vfs.NewFSMetrics("ntfs")}
 	fs.cache.SetTracer(fs.tr)
+	fs.commitDone = sync.NewCond(&fs.mu)
 	return fs
 }
 
 // SetNoAtime suppresses the atime journal update on Read (the noatime
 // mount option). Set before Mount.
 func (fs *FS) SetNoAtime(on bool) { fs.noatime = on }
+
+// SetReadAhead enables sequential read-ahead on data reads, prefetching up
+// to window blocks once a scan is detected (0 disables). Set before Mount.
+func (fs *FS) SetReadAhead(window int) { fs.ra = bcache.NewPrefetcher(window) }
 
 // Health returns the current RStop state.
 func (fs *FS) Health() vfs.HealthState { return fs.health.State() }
@@ -84,6 +102,14 @@ func (fs *FS) readBlockRetry(blk int64, bt iron.BlockType) ([]byte, error) {
 	if data := fs.cache.Get(blk); data != nil {
 		return data, nil
 	}
+	return fs.fillBlockRetry(blk, bt)
+}
+
+// fillBlockRetry is readBlockRetry's miss path: device read under the
+// retry budget, cache insert, and — for data blocks with read-ahead
+// enabled — a sequential prefetch of the blocks the access pattern
+// predicts.
+func (fs *FS) fillBlockRetry(blk int64, bt iron.BlockType) ([]byte, error) {
 	buf := make([]byte, BlockSize)
 	err := fs.dev.ReadBlock(blk, buf)
 	if err != nil {
@@ -98,6 +124,20 @@ func (fs *FS) readBlockRetry(blk int64, bt iron.BlockType) ([]byte, error) {
 		return nil, vfs.ErrIO
 	}
 	fs.cache.Put(blk, buf, false)
+	if bt == BTData {
+		for _, pb := range fs.ra.Note(blk) {
+			// Prefetch is advisory: out-of-range or failing blocks just
+			// end the window; prefetched blocks enter the cache clean.
+			if pb <= 0 || pb >= fs.dev.NumBlocks() {
+				break
+			}
+			pbuf := make([]byte, BlockSize)
+			if fs.dev.ReadBlock(pb, pbuf) != nil {
+				break
+			}
+			fs.cache.Put(pb, pbuf, false)
+		}
+	}
 	return buf, nil
 }
 
@@ -141,11 +181,19 @@ type txn struct {
 	metaType  map[int64]iron.BlockType
 	dataOrder []int64
 	data      map[int64][]byte
+	// recs tracks which MFT records this transaction has updated, so
+	// fsync can tell "needs this commit" from "only needs earlier
+	// commits".
+	recs map[uint32]bool
 }
 
 func newTxn() *txn {
-	return &txn{meta: map[int64][]byte{}, metaType: map[int64]iron.BlockType{}, data: map[int64][]byte{}}
+	return &txn{meta: map[int64][]byte{}, metaType: map[int64]iron.BlockType{}, data: map[int64][]byte{},
+		recs: map[uint32]bool{}}
 }
+
+func (t *txn) touch(rec uint32)        { t.recs[rec] = true }
+func (t *txn) touched(rec uint32) bool { return t.recs[rec] }
 
 func (t *txn) empty() bool { return len(t.metaOrder) == 0 && len(t.dataOrder) == 0 }
 
@@ -190,6 +238,16 @@ func removeBlk(s []int64, blk int64) []int64 {
 
 const maxTxnMeta = 48
 
+// maxDescTags is the hard capacity of one logfile descriptor block: more
+// tags would scribble past the block. maybeCommit keeps the running
+// transaction far below this even while a commit is in flight.
+const maxDescTags = (BlockSize - 16) / 8
+
+// commitYields is how many scheduler yields the committer grants, with the
+// lock released, before freezing — the window in which concurrent clients
+// join the transaction (JBD-style commit batching, in yield form).
+const commitYields = 8
+
 //iron:commitpoint the operation-facing commit funnel; its error means the transaction did not reach disk
 func (fs *FS) maybeCommit() error {
 	if len(fs.tx.metaOrder) >= maxTxnMeta {
@@ -198,17 +256,90 @@ func (fs *FS) maybeCommit() error {
 	return nil
 }
 
+// commitPlan is a frozen transaction: every device payload materialized
+// (copied) so the writes can proceed without the file-system lock. While a
+// plan's I/O is in flight the running transaction keeps accepting
+// operations — the JBD running/committing split.
+type commitPlan struct {
+	seq     uint64
+	headEnd int64
+	// wrap is set when the logfile ring wrapped: the restart area must
+	// point at the new start (with a barrier) before the transaction is
+	// written.
+	wrap     bool
+	dataReqs []disk.Request
+	jReqs    []disk.Request // descriptor + journaled copies, all BTLogfile
+	commit   []byte
+	// homeReqs is the immediate checkpoint: the same frozen payloads the
+	// logfile carries, aimed at their home locations — never the live
+	// cache buffers, which the running transaction may be mutating.
+	// homeType keeps each home block's type for writeRetry's per-type
+	// retry budget and degrade attribution.
+	homeReqs  []disk.Request
+	homeType  []iron.BlockType
+	metaOrder []int64
+	dataOrder []int64
+}
+
 // commitLocked writes ordered data, the logfile transaction, then
 // checkpoints home locations.
 //
+// The commit runs in three phases: freeze (under fs.mu) materializes the
+// plan and installs a fresh running transaction; the device writes happen
+// with fs.mu RELEASED, serialized against other commits by fs.committing;
+// finish (under fs.mu again) unpins the checkpointed blocks.
+//
 //iron:commitpoint the group-commit body; its error means the journal write or barrier failed
 func (fs *FS) commitLocked() error {
-	t := fs.tx
-	if t.empty() {
+	for fs.committing {
+		fs.commitDone.Wait()
+	}
+	if fs.tx.empty() {
 		return nil
 	}
 	if err := fs.health.CheckWrite(); err != nil {
 		return err
+	}
+	// Commit batching: release the lock and yield before freezing so
+	// other clients mid-operation can join the running transaction and
+	// ride this commit instead of paying for their own.
+	fs.committing = true
+	fs.mu.Unlock()
+	for i := 0; i < commitYields; i++ {
+		runtime.Gosched()
+	}
+	fs.mu.Lock()
+	plan, err := fs.freezeTxnLocked()
+	if err == nil && plan != nil {
+		fs.mu.Unlock()
+		err = fs.writeCommitPlan(plan)
+		fs.mu.Lock()
+	}
+	fs.committing = false
+	if plan != nil {
+		// Advance even on a failed write: waiters must not hang, and the
+		// failure surfaces through the health state they re-check.
+		fs.durableSeq = plan.seq
+	}
+	fs.commitDone.Broadcast()
+	if err != nil {
+		return err
+	}
+	if plan != nil {
+		fs.finishCommitLocked(plan)
+	}
+	return nil
+}
+
+// freezeTxnLocked materializes the running transaction into a commitPlan
+// and installs a fresh running transaction. Every payload is copied under
+// the lock, so later mutations of the cached buffers cannot tear the
+// frozen image. The logfile head and sequence advance here — reservations
+// are serialized because freezes only run with no commit in flight.
+func (fs *FS) freezeTxnLocked() (*commitPlan, error) {
+	t := fs.tx
+	if t.empty() {
+		return nil, nil
 	}
 	fs.tr.Phase("commit", fmt.Sprintf("seq=%d meta=%d data=%d", fs.seq+1, len(t.metaOrder), len(t.dataOrder)))
 	fs.st.Commits.Inc()
@@ -217,15 +348,21 @@ func (fs *FS) commitLocked() error {
 	base := int64(fs.boot.LogStart)
 	le := binary.LittleEndian
 
-	if len(t.dataOrder) > 0 {
-		for _, blk := range t.dataOrder {
-			if err := fs.writeRetry(blk, t.data[blk], BTData); err != nil {
-				return err
-			}
-		}
-		if err := fs.dev.Barrier(); err != nil {
-			return vfs.ErrIO
-		}
+	if len(t.metaOrder) > maxDescTags {
+		// Unreachable by construction — maybeCommit flushes the running
+		// transaction far below one descriptor block's tag capacity — but
+		// an overflow would scribble past the descriptor block, and
+		// NTFS's reaction to a metadata-structural hazard is to mark the
+		// volume unusable.
+		fs.unmountable(BTLogfile, "transaction overflows descriptor block")
+		return nil, vfs.ErrIO
+	}
+
+	plan := &commitPlan{seq: seq, metaOrder: t.metaOrder, dataOrder: t.dataOrder}
+	for _, blk := range t.dataOrder {
+		cp := make([]byte, BlockSize)
+		copy(cp, t.data[blk])
+		plan.dataReqs = append(plan.dataReqs, disk.Request{Block: blk, Data: cp})
 	}
 
 	need := int64(len(t.metaOrder) + 2)
@@ -234,12 +371,7 @@ func (fs *FS) commitLocked() error {
 	}
 	if fs.jhead+need > int64(fs.boot.LogLen) {
 		fs.jhead = 1
-		if err := fs.writeRestart(seq, 1); err != nil {
-			return err
-		}
-		if err := fs.dev.Barrier(); err != nil {
-			return vfs.ErrIO
-		}
+		plan.wrap = true
 	}
 	rel := fs.jhead
 
@@ -250,54 +382,126 @@ func (fs *FS) commitLocked() error {
 	for i, blk := range t.metaOrder {
 		le.PutUint64(desc[16+8*i:], uint64(blk))
 	}
-	if err := fs.writeRetry(base+rel, desc, BTLogfile); err != nil {
-		return err
-	}
+	plan.jReqs = append(plan.jReqs, disk.Request{Block: base + rel, Data: desc})
 	rel++
+	plan.homeReqs = make([]disk.Request, 0, len(t.metaOrder))
+	plan.homeType = make([]iron.BlockType, 0, len(t.metaOrder))
 	for _, blk := range t.metaOrder {
 		cp := make([]byte, BlockSize)
 		copy(cp, t.meta[blk])
-		if err := fs.writeRetry(base+rel, cp, BTLogfile); err != nil {
-			return err
-		}
+		plan.jReqs = append(plan.jReqs, disk.Request{Block: base + rel, Data: cp})
+		plan.homeReqs = append(plan.homeReqs, disk.Request{Block: blk, Data: cp})
+		plan.homeType = append(plan.homeType, t.metaType[blk])
 		rel++
 	}
-	if err := fs.dev.Barrier(); err != nil {
-		return vfs.ErrIO
-	}
-	commit := make([]byte, BlockSize)
-	le.PutUint32(commit[0:], logCommit)
-	le.PutUint64(commit[8:], seq)
-	if err := fs.writeRetry(base+rel, commit, BTLogfile); err != nil {
-		return err
-	}
+
+	plan.commit = make([]byte, BlockSize)
+	le.PutUint32(plan.commit[0:], logCommit)
+	le.PutUint64(plan.commit[8:], seq)
 	rel++
-	if err := fs.dev.Barrier(); err != nil {
-		return vfs.ErrIO
-	}
 
-	for _, blk := range t.metaOrder {
-		if err := fs.writeRetry(blk, t.meta[blk], t.metaType[blk]); err != nil {
-			return err
-		}
-	}
-	if err := fs.dev.Barrier(); err != nil {
-		return vfs.ErrIO
-	}
-	if err := fs.writeRestart(seq+1, rel); err != nil {
-		return err
-	}
-
-	for _, blk := range t.metaOrder {
-		fs.cache.MarkClean(blk)
-	}
-	for _, blk := range t.dataOrder {
-		fs.cache.MarkClean(blk)
-	}
+	plan.headEnd = rel
 	fs.seq = seq
 	fs.jhead = rel
 	fs.tx = newTxn()
+	return plan, nil
+}
+
+// commitBarrier is an ordering point inside the commit path. A barrier
+// failure means the commit's durability cannot be vouched for; NTFS's
+// reaction to an unrecoverable write-path failure applies — the volume is
+// marked unusable. Without the degrade, an fsync waiter would see
+// durableSeq advance with health still Healthy and report durability for
+// a commit whose ordering barrier failed.
+func (fs *FS) commitBarrier(bt iron.BlockType) error {
+	if err := fs.dev.Barrier(); err != nil {
+		fs.rec.Detect(iron.DErrorCode, bt, "barrier failed")
+		fs.rec.Recover(iron.RPropagate, bt, "barrier error propagated")
+		fs.unmountable(bt, "commit barrier failure")
+		return vfs.ErrIO
+	}
 	return nil
+}
+
+// writeCommitPlan issues the frozen transaction's device writes. It runs
+// without fs.mu held — fs.committing serializes it against other commits —
+// and touches only the plan's frozen payloads plus thread-safe members
+// (device, recorder, health, tracer). Every block keeps NTFS's per-type
+// writeRetry persistence.
+func (fs *FS) writeCommitPlan(plan *commitPlan) error {
+	base := int64(fs.boot.LogStart)
+	hdrEnd := plan.headEnd - 1 // commit block sits just before headEnd
+
+	if len(plan.dataReqs) > 0 {
+		for _, r := range plan.dataReqs {
+			if err := fs.writeRetry(r.Block, r.Data, BTData); err != nil {
+				return err
+			}
+		}
+		if err := fs.commitBarrier(BTData); err != nil {
+			return err
+		}
+	}
+
+	if plan.wrap {
+		if err := fs.writeRestart(plan.seq, 1); err != nil {
+			return err
+		}
+		if err := fs.commitBarrier(BTLogfile); err != nil {
+			return err
+		}
+	}
+
+	for _, r := range plan.jReqs {
+		if err := fs.writeRetry(r.Block, r.Data, BTLogfile); err != nil {
+			return err
+		}
+	}
+	if err := fs.commitBarrier(BTLogfile); err != nil {
+		return err
+	}
+	if err := fs.writeRetry(base+hdrEnd, plan.commit, BTLogfile); err != nil {
+		return err
+	}
+	if err := fs.commitBarrier(BTLogfile); err != nil {
+		return err
+	}
+
+	for i, r := range plan.homeReqs {
+		if err := fs.writeRetry(r.Block, r.Data, plan.homeType[i]); err != nil {
+			return err
+		}
+	}
+	if err := fs.commitBarrier(BTMFT); err != nil {
+		return err
+	}
+	return fs.writeRestart(plan.seq+1, plan.headEnd)
+}
+
+// finishCommitLocked unpins the checkpointed blocks — unless the running
+// transaction re-dirtied a block while the commit was in flight, in which
+// case the dirty pin now belongs to it.
+//
+//iron:traceok in-memory pin bookkeeping after the commit's device writes; the commit phase itself traces in writeCommitPlan
+func (fs *FS) finishCommitLocked(plan *commitPlan) {
+	for _, blk := range plan.metaOrder {
+		if _, live := fs.tx.meta[blk]; live {
+			continue
+		}
+		if _, live := fs.tx.data[blk]; live {
+			continue
+		}
+		fs.cache.MarkClean(blk)
+	}
+	for _, blk := range plan.dataOrder {
+		if _, live := fs.tx.meta[blk]; live {
+			continue
+		}
+		if _, live := fs.tx.data[blk]; live {
+			continue
+		}
+		fs.cache.MarkClean(blk)
+	}
 }
 
 // writeRestart updates the logfile restart area.
@@ -456,6 +660,9 @@ func (fs *FS) Mount() error {
 	}
 
 	fs.tx = newTxn()
+	// Everything up to the replayed/loaded sequence is on disk; an fsync
+	// waiter for a pre-mount sequence must not park forever.
+	fs.durableSeq = fs.seq
 	fs.boot.Clean = 0
 	bbuf := make([]byte, BlockSize)
 	fs.boot.marshal(bbuf)

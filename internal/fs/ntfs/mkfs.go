@@ -13,6 +13,20 @@ const defaultLogLen = int64(128)
 // defaultMFTBlocks sizes the MFT (4 records per block).
 const defaultMFTBlocks = int64(64)
 
+// mftBlocksFor sizes the MFT for an n-block device: one MFT block per 256
+// device blocks, floored at the historical 64. Devices up to 16384 blocks
+// (every committed golden and the standard 4096-block harness disk) land
+// exactly on the floor, so their layout is bit-identical to older formats;
+// larger devices — the high-client sweep arena — get a proportionally
+// larger record table so hundreds of client directories fit. The one-block
+// MFT bitmap covers 32768 records, far above any size this yields.
+func mftBlocksFor(n int64) int64 {
+	if m := n / 256; m > defaultMFTBlocks {
+		return m
+	}
+	return defaultMFTBlocks
+}
+
 // Mkfs formats dev as an NTFS volume.
 //
 //iron:txentry format-time writer: mkfs lays out the disk before any log exists
@@ -22,7 +36,8 @@ func Mkfs(dev disk.Device) error {
 	}
 	n := dev.NumBlocks()
 	mftStart := int64(1)
-	mftBmp := mftStart + defaultMFTBlocks
+	mftBlocks := mftBlocksFor(n)
+	mftBmp := mftStart + mftBlocks
 	volBmpStart := mftBmp + 1
 	volBmpLen := (n + bitsPerBlock - 1) / bitsPerBlock
 	logStart := n - defaultLogLen
@@ -34,7 +49,7 @@ func Mkfs(dev disk.Device) error {
 	b := boot{
 		Magic:      bootMagic,
 		BlockCount: uint64(n),
-		MFTStart:   uint64(mftStart), MFTLen: uint64(defaultMFTBlocks),
+		MFTStart:   uint64(mftStart), MFTLen: uint64(mftBlocks),
 		MFTBmp:      uint64(mftBmp),
 		VolBmpStart: uint64(volBmpStart), VolBmpLen: uint64(volBmpLen),
 		LogStart: uint64(logStart), LogLen: uint64(defaultLogLen),
@@ -49,7 +64,7 @@ func Mkfs(dev disk.Device) error {
 	reqs = append(reqs, disk.Request{Block: 0, Data: bb})
 
 	// MFT: record 0 reserved for $MFT itself; record 1 is the root dir.
-	for t := int64(0); t < defaultMFTBlocks; t++ {
+	for t := int64(0); t < mftBlocks; t++ {
 		buf := blockOf()
 		if t == 0 {
 			mft := mftRecord{Magic: recMagic, Flags: flagInUse, Links: 1}

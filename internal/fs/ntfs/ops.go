@@ -201,6 +201,7 @@ func (fs *FS) storeRecord(rec uint32, r *mftRecord) error {
 	copy(nb, buf)
 	r.Magic = recMagic
 	r.marshal(nb[off : off+RecordSize])
+	fs.tx.touch(rec)
 	fs.stageMeta(blk, nb, BTMFT)
 	return nil
 }
@@ -220,6 +221,7 @@ func (fs *FS) clearRecord(rec uint32) error {
 	for i := 0; i < RecordSize; i++ {
 		nb[off+i] = 0
 	}
+	fs.tx.touch(rec)
 	fs.stageMeta(blk, nb, BTMFT)
 	return nil
 }

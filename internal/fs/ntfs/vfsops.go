@@ -325,8 +325,11 @@ func (fs *FS) Read(path string, off int64, buf []byte) (int, error) {
 			for i := int64(0); i < chunk; i++ {
 				buf[read+i] = 0
 			}
-		} else {
-			data, err := fs.readBlockRetry(blk, BTData)
+		} else if !fs.cache.GetInto(blk, int(bo), buf[read:read+chunk]) {
+			// Miss: fill from the device (which also drives read-ahead)
+			// and copy. The hit path above copied under the shard lock
+			// without allocating.
+			data, err := fs.fillBlockRetry(blk, BTData)
 			if err != nil {
 				return int(read), err
 			}
@@ -454,10 +457,29 @@ func (fs *FS) Fsync(path string) error {
 		start := int64(fs.clk.Now())
 		defer func() { fs.st.FsyncWait.Observe(int64(fs.clk.Now()) - start) }()
 	}
-	if _, _, err := fs.resolve(path, true); err != nil {
+	rec, _, err := fs.resolve(path, true)
+	if err != nil {
 		return err
 	}
-	return fs.commitLocked()
+	// Group commit: if the record is untouched by the running transaction,
+	// its durability only needs every commit up to the current sequence on
+	// disk — wait for that instead of forcing (or joining) a commit. If it
+	// IS touched, drive a commit ourselves unless one is already in
+	// flight, in which case wait and re-check: the in-flight freeze may
+	// already have swept our updates in.
+	for {
+		if !fs.tx.touched(rec) {
+			need := fs.seq
+			for fs.durableSeq < need {
+				fs.commitDone.Wait()
+			}
+			return fs.health.CheckWrite()
+		}
+		if !fs.committing {
+			return fs.commitLocked()
+		}
+		fs.commitDone.Wait()
+	}
 }
 
 // Unlink implements vfs.FileSystem.

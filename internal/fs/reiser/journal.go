@@ -3,6 +3,7 @@ package reiser
 import (
 	"encoding/binary"
 	"fmt"
+	"runtime"
 
 	"ironfs/internal/disk"
 	"ironfs/internal/iron"
@@ -49,6 +50,10 @@ type txn struct {
 	metaType  map[int64]iron.BlockType
 	dataOrder []int64
 	data      map[int64][]byte
+	// objs records which objects this transaction touched (any tree item
+	// under their key prefix inserted, replaced, or deleted), so fsync of
+	// an object whose state already rode an earlier commit is free.
+	objs map[objRef]bool
 }
 
 func newTxn() *txn {
@@ -56,10 +61,17 @@ func newTxn() *txn {
 		meta:     map[int64][]byte{},
 		metaType: map[int64]iron.BlockType{},
 		data:     map[int64][]byte{},
+		objs:     map[objRef]bool{},
 	}
 }
 
 func (t *txn) empty() bool { return len(t.metaOrder) == 0 && len(t.dataOrder) == 0 }
+
+// touch records that obj's state changed in this transaction.
+func (t *txn) touch(k key) { t.objs[objRef{DirID: k.DirID, ObjID: k.ObjID}] = true }
+
+// touched reports whether obj has uncommitted changes in this transaction.
+func (t *txn) touched(r objRef) bool { return t.objs[r] }
 
 // putMeta stages a full metadata block image for journaling.
 func (t *txn) putMeta(blk int64, data []byte, bt iron.BlockType) {
@@ -104,6 +116,16 @@ func removeBlk(s []int64, blk int64) []int64 {
 // maxTxnMeta bounds a transaction before auto-commit.
 const maxTxnMeta = 48
 
+// maxDescTags is the hard capacity of one descriptor block: more tags
+// would scribble past the block. maybeCommit keeps the running
+// transaction far below this even while a commit is in flight.
+const maxDescTags = (BlockSize - 16) / 8
+
+// commitYields is how many scheduler yields the committer grants, with the
+// lock released, before freezing — the window in which concurrent clients
+// join the transaction (JBD's commit-batching sleep, in yield form).
+const commitYields = 8
+
 // stageMeta records a metadata image in the transaction and the cache, so
 // subsequent reads observe it.
 func (fs *FS) stageMeta(blk int64, data []byte, bt iron.BlockType) {
@@ -127,11 +149,93 @@ func (fs *FS) maybeCommit() error {
 	return nil
 }
 
+// commitPlan is a frozen transaction: every device request materialized
+// (payloads copied) so the writes can proceed without the file-system
+// lock. While a plan's I/O is in flight the running transaction keeps
+// accepting operations — the JBD running/committing split — which is what
+// lets concurrent clients pile into the next commit instead of stalling
+// behind ReiserFS's commit-under-the-big-lock shape.
+type commitPlan struct {
+	seq     uint64
+	headEnd int64
+	// wrapHdr, when non-nil, is the journal header pointing at the ring's
+	// new start; it must reach disk (with a barrier) before the
+	// transaction is written, or a crash after the commit would leave
+	// replay scanning the stale tail.
+	wrapHdr  []byte
+	dataReqs []disk.Request
+	jReqs    []disk.Request // descriptor + journaled copies
+	commit   []byte
+	// homeReqs is the immediate checkpoint: the same frozen payloads the
+	// journal carries, aimed at their home locations — never the live
+	// cache buffers, which the running transaction may be mutating.
+	homeReqs  []disk.Request
+	advHdr    []byte // header advance after the checkpoint completes
+	metaOrder []int64
+	dataOrder []int64
+}
+
 // commitLocked commits and immediately checkpoints the running transaction.
+//
+// The commit runs in three phases: freeze (under fs.mu) materializes the
+// plan and installs a fresh running transaction; the device writes happen
+// with fs.mu RELEASED, serialized against other commits by fs.committing;
+// finish (under fs.mu again) unpins the checkpointed blocks. Callers hold
+// fs.mu and get it back on return, but must tolerate the window — every
+// caller commits at the end of its operation, with no state carried
+// across the call.
 //
 //iron:txentry commit machinery: reiser whole-metadata group commit writes the journal then checkpoints home blocks
 //iron:commitpoint the group-commit body; its error means the journal write or barrier failed
 func (fs *FS) commitLocked() error {
+	for fs.committing {
+		fs.commitDone.Wait()
+	}
+	if fs.tx.empty() && !fs.sbDirty {
+		return nil
+	}
+	if err := fs.health.CheckWrite(); err != nil {
+		return err
+	}
+	// Commit batching: before freezing, release the lock and yield so
+	// other clients mid-operation can finish joining the running
+	// transaction — their fsyncs then ride this commit instead of paying
+	// for their own. A lone caller loses nothing: the yields return
+	// immediately and the transaction freezes unchanged.
+	fs.committing = true
+	fs.mu.Unlock()
+	for i := 0; i < commitYields; i++ {
+		runtime.Gosched()
+	}
+	fs.mu.Lock()
+	plan, err := fs.freezeTxnLocked()
+	if err == nil && plan != nil {
+		fs.mu.Unlock()
+		err = fs.writeCommitPlan(plan)
+		fs.mu.Lock()
+	}
+	fs.committing = false
+	if plan != nil {
+		// Advance even on a failed write: waiters must not hang, and the
+		// failure surfaces through the health state they re-check.
+		fs.durableSeq = plan.seq
+	}
+	fs.commitDone.Broadcast()
+	if err != nil {
+		return err
+	}
+	if plan != nil {
+		fs.finishCommitLocked(plan)
+	}
+	return nil
+}
+
+// freezeTxnLocked materializes the running transaction into a commitPlan
+// and installs a fresh running transaction. Every payload is copied under
+// the lock, so later mutations of the cached buffers cannot tear the
+// frozen image. The journal head and sequence advance here — reservations
+// are serialized because freezes only run with no commit in flight.
+func (fs *FS) freezeTxnLocked() (*commitPlan, error) {
 	t := fs.tx
 	if fs.sbDirty {
 		sbuf := make([]byte, BlockSize)
@@ -140,49 +244,42 @@ func (fs *FS) commitLocked() error {
 		fs.sbDirty = false
 	}
 	if t.empty() {
-		return nil
-	}
-	if err := fs.health.CheckWrite(); err != nil {
-		return err
+		return nil, nil
 	}
 	fs.tr.Phase("commit", fmt.Sprintf("seq=%d meta=%d", fs.seq+1, len(t.metaOrder)))
 	fs.st.Commits.Inc()
 	fs.st.TxnBlocks.Observe(int64(len(t.metaOrder)))
 	seq := fs.seq + 1
 	base := int64(fs.sb.JournalStart)
+	if len(t.metaOrder) > maxDescTags {
+		// Unreachable by construction — maybeCommit flushes the running
+		// transaction far below one descriptor block's tag capacity, even
+		// while a commit is in flight — but an overflow would scribble
+		// past the descriptor block, and ReiserFS's answer to a
+		// structural write hazard is to panic.
+		fs.panicFS(BTJDesc, "transaction overflows descriptor block")
+		return nil, vfs.ErrPanicked
+	}
 	need := int64(len(t.metaOrder) + 2)
 	if fs.jhead == 0 {
 		fs.jhead = 1
 	}
+	plan := &commitPlan{seq: seq, metaOrder: t.metaOrder, dataOrder: t.dataOrder}
 	if fs.jhead+need > int64(fs.sb.JournalLen) {
-		// The ring wraps; prior transactions are checkpointed already,
-		// but the header must point at the new start *before* the
-		// transaction is written, or a crash after its commit would
-		// leave replay scanning the stale tail.
+		// The ring wraps; prior transactions are checkpointed already.
 		fs.jhead = 1
 		jh := jheader{Magic: jMagicHeader, StartRel: 1, StartSeq: seq}
-		hbuf := make([]byte, BlockSize)
-		jh.marshal(hbuf)
-		if err := fs.devWriteMeta(base, hbuf, BTJHeader); err != nil {
-			return err
-		}
-		if err := fs.dev.Barrier(); err != nil {
-			return vfs.ErrIO
-		}
+		plan.wrapHdr = make([]byte, BlockSize)
+		jh.marshal(plan.wrapHdr)
 	}
 	rel := fs.jhead
 	le := binary.LittleEndian
 
-	// Ordered data first (write errors ignored — reproduced bug).
-	if len(t.dataOrder) > 0 {
-		reqs := make([]disk.Request, 0, len(t.dataOrder))
-		for _, blk := range t.dataOrder {
-			reqs = append(reqs, disk.Request{Block: blk, Data: t.data[blk]})
-		}
-		fs.devWriteDataBatch(reqs)
-		if err := fs.dev.Barrier(); err != nil {
-			return vfs.ErrIO
-		}
+	// Ordered data (frozen copies).
+	for _, blk := range t.dataOrder {
+		cp := make([]byte, BlockSize)
+		copy(cp, t.data[blk])
+		plan.dataReqs = append(plan.dataReqs, disk.Request{Block: blk, Data: cp})
 	}
 
 	// Descriptor + journaled copies.
@@ -193,64 +290,131 @@ func (fs *FS) commitLocked() error {
 	for i, blk := range t.metaOrder {
 		le.PutUint64(desc[16+8*i:], uint64(blk))
 	}
-	reqs := []disk.Request{{Block: base + rel, Data: desc}}
+	plan.jReqs = append(plan.jReqs, disk.Request{Block: base + rel, Data: desc})
 	rel++
+	plan.homeReqs = make([]disk.Request, 0, len(t.metaOrder))
 	for _, blk := range t.metaOrder {
 		cp := make([]byte, BlockSize)
 		copy(cp, t.meta[blk])
-		reqs = append(reqs, disk.Request{Block: base + rel, Data: cp})
+		plan.jReqs = append(plan.jReqs, disk.Request{Block: base + rel, Data: cp})
+		plan.homeReqs = append(plan.homeReqs, disk.Request{Block: blk, Data: cp})
 		rel++
-	}
-	if err := fs.devWriteMetaBatch(reqs, BTJDesc); err != nil {
-		return err
-	}
-	if err := fs.dev.Barrier(); err != nil {
-		return vfs.ErrIO
 	}
 
 	// Commit block.
-	commit := make([]byte, BlockSize)
-	le.PutUint32(commit[0:], jMagicCommit)
-	le.PutUint32(commit[4:], uint32(len(t.metaOrder)))
-	le.PutUint64(commit[8:], seq)
-	if err := fs.devWriteMeta(base+rel, commit, BTJCommit); err != nil {
-		return err
-	}
+	plan.commit = make([]byte, BlockSize)
+	le.PutUint32(plan.commit[0:], jMagicCommit)
+	le.PutUint32(plan.commit[4:], uint32(len(t.metaOrder)))
+	le.PutUint64(plan.commit[8:], seq)
 	rel++
-	if err := fs.dev.Barrier(); err != nil {
-		return vfs.ErrIO
-	}
 
-	// Immediate checkpoint: home locations.
-	home := make([]disk.Request, 0, len(t.metaOrder))
-	for _, blk := range t.metaOrder {
-		home = append(home, disk.Request{Block: blk, Data: t.meta[blk]})
-	}
-	if err := fs.devWriteMetaBatch(home, BTInternal); err != nil {
-		return err
-	}
-	if err := fs.dev.Barrier(); err != nil {
-		return vfs.ErrIO
-	}
-
-	// Advance the header: the transaction is fully checkpointed.
+	// Header advance for after the checkpoint: the transaction is then
+	// fully checkpointed and the ring logically empty again.
 	jh := jheader{Magic: jMagicHeader, StartRel: uint64(rel), StartSeq: seq + 1}
-	hbuf := make([]byte, BlockSize)
-	jh.marshal(hbuf)
-	if err := fs.devWriteMeta(base, hbuf, BTJHeader); err != nil {
-		return err
-	}
+	plan.advHdr = make([]byte, BlockSize)
+	jh.marshal(plan.advHdr)
 
-	for _, blk := range t.metaOrder {
-		fs.cache.MarkClean(blk)
-	}
-	for _, blk := range t.dataOrder {
-		fs.cache.MarkClean(blk)
-	}
+	plan.headEnd = rel
 	fs.seq = seq
 	fs.jhead = rel
 	fs.tx = newTxn()
+	return plan, nil
+}
+
+// commitBarrier is an ordering point inside the commit path. A barrier
+// failure means the commit's durability cannot be vouched for — and
+// ReiserFS's policy for any write-path failure is to panic the machine
+// (§5.2). Without the degrade, a concurrent fsync waiter would see
+// durableSeq advance with health still Healthy and report durability for
+// a commit whose ordering barrier failed.
+func (fs *FS) commitBarrier(bt iron.BlockType) error {
+	if err := fs.dev.Barrier(); err != nil {
+		fs.rec.Detect(iron.DErrorCode, bt, "barrier failed")
+		fs.panicFS(bt, "commit barrier failure")
+		return vfs.ErrPanicked
+	}
 	return nil
+}
+
+// writeCommitPlan issues the frozen transaction's device writes. It runs
+// without fs.mu held — fs.committing serializes it against other commits —
+// and touches only the plan's frozen payloads plus thread-safe members
+// (device, recorder, health, tracer).
+//
+//iron:txentry commit machinery: writes the frozen commit plan (journal descriptor/data/commit blocks) and its immediate checkpoint to disk
+func (fs *FS) writeCommitPlan(plan *commitPlan) error {
+	base := int64(fs.sb.JournalStart)
+	hdrEnd := plan.headEnd - 1 // commit block sits just before headEnd
+
+	if plan.wrapHdr != nil {
+		if err := fs.devWriteMeta(base, plan.wrapHdr, BTJHeader); err != nil {
+			return err
+		}
+		if err := fs.commitBarrier(BTJHeader); err != nil {
+			return err
+		}
+	}
+
+	// Ordered data first (write errors ignored — reproduced bug).
+	if len(plan.dataReqs) > 0 {
+		fs.devWriteDataBatch(plan.dataReqs)
+		if err := fs.commitBarrier(BTData); err != nil {
+			return err
+		}
+	}
+
+	// Descriptor + journaled copies.
+	if err := fs.devWriteMetaBatch(plan.jReqs, BTJDesc); err != nil {
+		return err
+	}
+	if err := fs.commitBarrier(BTJDesc); err != nil {
+		return err
+	}
+
+	// Commit block.
+	if err := fs.devWriteMeta(base+hdrEnd, plan.commit, BTJCommit); err != nil {
+		return err
+	}
+	if err := fs.commitBarrier(BTJCommit); err != nil {
+		return err
+	}
+
+	// Immediate checkpoint: home locations, from the frozen payloads.
+	if err := fs.devWriteMetaBatch(plan.homeReqs, BTInternal); err != nil {
+		return err
+	}
+	if err := fs.commitBarrier(BTInternal); err != nil {
+		return err
+	}
+
+	// Advance the header: the transaction is fully checkpointed.
+	return fs.devWriteMeta(base, plan.advHdr, BTJHeader)
+}
+
+// finishCommitLocked unpins the checkpointed blocks — unless the running
+// transaction re-dirtied a block while the commit was in flight, in which
+// case the dirty pin now belongs to it.
+//
+//iron:traceok in-memory pin bookkeeping after the commit's device writes; the commit phase itself traces in writeCommitPlan
+func (fs *FS) finishCommitLocked(plan *commitPlan) {
+	for _, blk := range plan.metaOrder {
+		if _, live := fs.tx.meta[blk]; live {
+			continue
+		}
+		if _, live := fs.tx.data[blk]; live {
+			continue
+		}
+		fs.cache.MarkClean(blk)
+	}
+	for _, blk := range plan.dataOrder {
+		if _, live := fs.tx.meta[blk]; live {
+			continue
+		}
+		if _, live := fs.tx.data[blk]; live {
+			continue
+		}
+		fs.cache.MarkClean(blk)
+	}
 }
 
 // loadJournalHeader initializes the sequence space on a clean mount.

@@ -170,6 +170,7 @@ func (fs *FS) insertItem(it item) error {
 	if itemHdrLen+len(it.Body) > BlockSize-nodeHdrLen {
 		return fmt.Errorf("reiser: item too large (%d bytes)", len(it.Body))
 	}
+	fs.tx.touch(it.K)
 	if fs.sb.Root == 0 {
 		blk, err := fs.allocBlock(BTRoot)
 		if err != nil {
@@ -268,6 +269,7 @@ func (fs *FS) insertSeparator(path []pathElem, sep key, rightChild int64) error 
 // replaceItem updates the body of an existing item in place when it fits,
 // falling back to delete+insert when the leaf would overflow.
 func (fs *FS) replaceItem(k key, body []byte) error {
+	fs.tx.touch(k)
 	path, found, err := fs.search(k)
 	if err != nil {
 		return err
@@ -293,6 +295,7 @@ func (fs *FS) replaceItem(k key, body []byte) error {
 // deleteItem removes the item with key k; empty nodes are unlinked from
 // their parents and freed, and a single-child root collapses.
 func (fs *FS) deleteItem(k key) error {
+	fs.tx.touch(k)
 	path, found, err := fs.search(k)
 	if err != nil {
 		return err

@@ -40,6 +40,15 @@ type MountOpts struct {
 	// QueueDepth configures the C-LOOK scheduler above the device
 	// (≤ 1 = strict passthrough, no scheduler layer inserted).
 	QueueDepth int
+	// SchedPolicy selects the scheduler's drain dispatch order (zero =
+	// sched.PolicyCLOOK, the historical behavior; sched.PolicyAdaptive
+	// switches C-LOOK vs deadline by queue pressure). Ignored at
+	// QueueDepth ≤ 1.
+	SchedPolicy sched.Policy
+	// ReadAhead enables sequential read-ahead on data reads for file
+	// systems that support it, prefetching up to this many blocks once a
+	// scan is detected (0 = off, the historical behavior).
+	ReadAhead int
 	// Recorder receives IRON policy events (may be nil).
 	Recorder *iron.Recorder
 	// Trace attaches an evidence tracer to the disk before the upper
@@ -133,7 +142,7 @@ func MountVolume(o MountOpts) (*Volume, error) {
 		dev = v.Faults
 	}
 	if o.QueueDepth > 1 {
-		v.Sched = sched.New(dev, sched.Config{QueueDepth: o.QueueDepth})
+		v.Sched = sched.New(dev, sched.Config{QueueDepth: o.QueueDepth, Policy: o.SchedPolicy})
 		dev = v.Sched
 	}
 	v.Dev = dev
@@ -146,6 +155,11 @@ func MountVolume(o MountOpts) (*Volume, error) {
 		}
 	}
 	v.FS = e.newFS(dev, o.Opts, o.Recorder)
+	if o.ReadAhead > 0 {
+		if r, ok := v.FS.(interface{ SetReadAhead(int) }); ok {
+			r.SetReadAhead(o.ReadAhead)
+		}
+	}
 	if !o.NoMount {
 		if err := v.FS.Mount(); err != nil {
 			return fail(err)

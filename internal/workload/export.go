@@ -134,6 +134,35 @@ func (r MultiClientRow) JSON() MultiClientRowJSON {
 	}
 }
 
+// SweepRowJSON is one deterministic high-client measurement: N modeled
+// clients under the adaptive scheduler against the shared serial baseline.
+// Unlike the goroutine multi-client rows, these runs are driven by the
+// single-threaded virtual-time dispatcher, so every field — the exact
+// p50/p99/p999 included — is bit-deterministic and snapshot-pinnable.
+type SweepRowJSON struct {
+	FS       string `json:"fs"`
+	Workload string `json:"workload"`
+	// Clients is the modeled client count (the ladder is 64/128/256).
+	Clients int `json:"clients"`
+	// Baseline is one client at queue depth 1 — the serial stack.
+	Baseline MultiClientRunJSON `json:"baseline"`
+	// Concurrent is N clients over the adaptive queued scheduler.
+	Concurrent MultiClientRunJSON `json:"concurrent"`
+	// Speedup is concurrent over baseline throughput, exact.
+	Speedup float64 `json:"speedup"`
+}
+
+// JSON converts one sweep row for serialization.
+func (r SweepRow) JSON() SweepRowJSON {
+	return SweepRowJSON{
+		FS: r.Concurrent.FS, Workload: r.Concurrent.Workload,
+		Clients:    r.Concurrent.Clients,
+		Baseline:   runJSON(r.Baseline),
+		Concurrent: runJSON(r.Concurrent),
+		Speedup:    r.Speedup(),
+	}
+}
+
 // FsckRunJSON is one timed consistency check.
 type FsckRunJSON struct {
 	Workers  int `json:"workers"`
@@ -187,5 +216,6 @@ type BenchJSON struct {
 	Table6      *Table6JSON          `json:"table6,omitempty"`
 	Space       []SpaceJSON          `json:"space,omitempty"`
 	MultiClient []MultiClientRowJSON `json:"multi_client,omitempty"`
+	Sweep       []SweepRowJSON       `json:"sweep,omitempty"`
 	Fsck        []FsckRowJSON        `json:"fsck,omitempty"`
 }

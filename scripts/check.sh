@@ -71,6 +71,29 @@ go build -o "$vetdir/ironstat" ./cmd/ironstat
 	exit 1
 }
 
+# High-client sweep gate (docs/PERF.md): the deterministic virtual-time
+# sweep at 64 clients (quick mode) must serialize byte-identically across
+# two runs — the property that lets BENCH_5.json pin exact p50/p99/p999 —
+# and reiserfs createheavy must beat its serial baseline by ≥ 2.5×, the
+# floor the hot-path scaling work is graded against.
+go build -o "$vetdir/ironbench" ./cmd/ironbench
+"$vetdir/ironbench" -sweep -quick -sweepclients 64 -json > "$vetdir/sweep1.json"
+"$vetdir/ironbench" -sweep -quick -sweepclients 64 -json > "$vetdir/sweep2.json"
+cmp "$vetdir/sweep1.json" "$vetdir/sweep2.json" || {
+	echo "check: sweep output is nondeterministic between identical runs" >&2
+	exit 1
+}
+"$vetdir/ironbench" -sweep -quick -sweepclients 64 > "$vetdir/sweep.txt"
+awk '$1=="reiserfs" && $2=="createheavy" {
+	sub(/x$/, "", $5)
+	if ($5 + 0 < 2.5) {
+		printf "check: reiserfs createheavy 64-client speedup %sx < 2.5x\n", $5 > "/dev/stderr"
+		exit 1
+	}
+	found = 1
+}
+END { if (!found) { print "check: sweep output missing reiserfs createheavy row" > "/dev/stderr"; exit 1 } }' "$vetdir/sweep.txt"
+
 # ironload quick gate (docs/SERVE.md): the serving-tier scenarios —
 # weighted fairness beside a 10:1 flood, read-only routing with typed
 # refusals, online repair under its I/O-share cap, and the mixed-tenant
